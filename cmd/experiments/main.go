@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures on the
+// Go reproduction.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3 -scale 2 -repeats 3 -threads 1,2,4,8,16
+//	experiments -list
+//
+// Experiment IDs: table1, fig3, fig4, table2, table3, fig5, fig6,
+// ablation-sync.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spd3/internal/harness"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment id or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 1, "problem-size multiplier")
+		repeats = flag.Int("repeats", 3, "runs per data point (smallest wins)")
+		threads = flag.String("threads", "1,2,4,8,16", "comma-separated worker sweep")
+		format  = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+
+	var render harness.Format
+	switch *format {
+	case "text":
+		render = harness.Text
+	case "csv":
+		render = harness.CSV
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sweep []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "experiments: bad -threads entry %q\n", part)
+			os.Exit(2)
+		}
+		sweep = append(sweep, n)
+	}
+	cfg := harness.Config{
+		Scale:   *scale,
+		Repeats: *repeats,
+		Threads: sweep,
+	}
+
+	var exps []harness.Experiment
+	if *run == "all" {
+		exps = harness.Experiments()
+	} else {
+		e, err := harness.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Println()
+		}
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout, render); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Barriersor reproduces the paper's §6.3 observation with the public API:
+// the original JGF benchmarks used persistent tasks synchronized by
+// barriers. That style is race-free — but only a detector that
+// understands barrier events (FastTrack here, like RoadRunner in the
+// paper) can certify it. SPD3's model is pure async/finish, so it
+// reports the cross-phase sharing; the fix the paper applied — and this
+// example applies with -finish — is rewriting the barrier loop into
+// finish form, which SPD3 then certifies for every schedule.
+//
+//	go run ./examples/barriersor            # barrier style: SPD3 reports, FastTrack quiet
+//	go run ./examples/barriersor -finish    # finish style: SPD3 certifies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spd3"
+)
+
+const (
+	parts = 4
+	size  = 32
+	iters = 4
+	omega = 1.25
+)
+
+func main() {
+	finishStyle := flag.Bool("finish", false, "use the paper's finish-based rewrite")
+	flag.Parse()
+
+	for _, det := range []spd3.Detector{spd3.SPD3, spd3.FastTrack} {
+		races, err := run(det, *finishStyle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		style := "barrier"
+		if *finishStyle {
+			style = "finish"
+		}
+		verdict := "race-free"
+		if races > 0 {
+			verdict = fmt.Sprintf("%d racy locations", races)
+		}
+		fmt.Printf("%-9s style under %-9s : %s\n", style, det, verdict)
+	}
+}
+
+func run(det spd3.Detector, finishStyle bool) (int, error) {
+	eng, err := spd3.New(spd3.Options{Workers: parts, Detector: det})
+	if err != nil {
+		return 0, err
+	}
+	g := spd3.NewMatrix[float64](eng, "G", size, size)
+	for i, raw := 0, g.Raw(); i < len(raw); i++ {
+		raw[i] = float64(i%13) * 1e-5
+	}
+
+	var report *spd3.Report
+	if finishStyle {
+		report, err = eng.Run(func(c *spd3.Ctx) { sorFinish(c, g) })
+	} else {
+		bar := spd3.NewBarrier(eng, parts)
+		report, err = eng.Run(func(c *spd3.Ctx) { sorBarrier(c, g, bar) })
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(report.Races), nil
+}
+
+// sorBarrier is the original JGF shape: persistent tasks, barrier per
+// color sweep.
+func sorBarrier(c *spd3.Ctx, g *spd3.Matrix[float64], bar *spd3.Barrier) {
+	rows := size / parts
+	c.FinishAsync(parts, func(c *spd3.Ctx, id int) {
+		lo, hi := clamp(id*rows), clamp((id+1)*rows)
+		for it := 0; it < iters; it++ {
+			for color := 0; color < 2; color++ {
+				sweep(c, g, lo, hi, color)
+				bar.Await(c)
+			}
+		}
+	})
+}
+
+// sorFinish is the paper's rewrite: one finish per color sweep.
+func sorFinish(c *spd3.Ctx, g *spd3.Matrix[float64]) {
+	rows := size / parts
+	for it := 0; it < iters; it++ {
+		for color := 0; color < 2; color++ {
+			color := color
+			c.FinishAsync(parts, func(c *spd3.Ctx, id int) {
+				sweep(c, g, clamp(id*rows), clamp((id+1)*rows), color)
+			})
+		}
+	}
+}
+
+func sweep(c *spd3.Ctx, g *spd3.Matrix[float64], lo, hi, color int) {
+	for i := lo; i < hi; i++ {
+		for j := 1 + (i+color)%2; j < size-1; j += 2 {
+			v := omega/4*(g.Get(c, i-1, j)+g.Get(c, i+1, j)+
+				g.Get(c, i, j-1)+g.Get(c, i, j+1)) +
+				(1-omega)*g.Get(c, i, j)
+			g.Set(c, i, j, v)
+		}
+	}
+}
+
+func clamp(r int) int {
+	if r < 1 {
+		return 1
+	}
+	if r > size-1 {
+		return size - 1
+	}
+	return r
+}

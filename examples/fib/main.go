@@ -1,0 +1,80 @@
+// Fib runs the canonical Cilk program — recursive Fibonacci with
+// spawn/sync — under race detection, demonstrating the paper's §2 claim
+// that async/finish (and hence SPD3) subsumes Cilk's spawn/sync model.
+//
+// The -racy flag removes the sync before combining the two halves: the
+// parent then reads the spawned child's slot while the child may still
+// be writing it — the classic spawn/sync bug, which SPD3 pinpoints.
+//
+//	go run ./examples/fib -n 20
+//	go run ./examples/fib -n 20 -racy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"spd3"
+)
+
+func main() {
+	n := flag.Int("n", 20, "fibonacci index (<= 26)")
+	racy := flag.Bool("racy", false, "omit the sync before combining (a real spawn/sync bug)")
+	flag.Parse()
+	if *n < 0 || *n > 26 {
+		log.Fatal("n must be in 0..26")
+	}
+
+	eng, err := spd3.New(spd3.Options{Workers: 4, Detector: spd3.SPD3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One instrumented result slot per dynamic call — 2*fib(n+1)-1
+	// calls — handed out by an atomic counter, so the detector watches
+	// every parent/child hand-off.
+	slots := spd3.NewArray[int](eng, "fib.slots", 2*fibSeq(*n+1))
+	var next atomic.Int64 // slot 0 is the root's
+
+	report, err := eng.Run(func(c *spd3.Ctx) {
+		spd3.RunCilk(c, func(k *spd3.Cilk) {
+			fib(k, slots, &next, *n, 0, *racy)
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fib(%d) = %d (%v)\n", *n, slots.Raw()[0], report.Duration)
+	if report.RaceFree() {
+		fmt.Println("race-free: certified for every schedule of this input")
+		return
+	}
+	fmt.Printf("%d racy locations, e.g. %v\n", len(report.Races), report.Races[0])
+}
+
+// fib computes fib(n) into slots[slot], spawning the n-1 half.
+func fib(k *spd3.Cilk, slots *spd3.Array[int], next *atomic.Int64, n, slot int, racy bool) {
+	c := k.Ctx()
+	if n < 2 {
+		slots.Set(c, slot, n)
+		return
+	}
+	left := int(next.Add(2)) - 1
+	right := left + 1
+	k.Spawn(func(k *spd3.Cilk) { fib(k, slots, next, n-1, left, racy) })
+	fib(k, slots, next, n-2, right, racy)
+	if !racy {
+		k.Sync() // join the spawned half before reading its slot
+	}
+	slots.Set(c, slot, slots.Get(c, left)+slots.Get(c, right))
+}
+
+// fibSeq is the plain sequential Fibonacci, used to size the slot array.
+func fibSeq(n int) int {
+	a, b := 0, 1
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}

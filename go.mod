@@ -1,0 +1,3 @@
+module spd3
+
+go 1.24

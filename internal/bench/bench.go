@@ -1,0 +1,123 @@
+// Package bench implements the paper's 15-benchmark evaluation suite
+// (Table 1): eight Java Grande Forum kernels, four Barcelona OpenMP Task
+// Suite programs, two Shootout benchmarks, and the EC2 MatMul challenge —
+// all rewritten as async/finish programs over the structured task runtime
+// with instrumented shared memory.
+//
+// Following §6, every data-parallel loop exists in two decompositions:
+//
+//   - unchunked: one async per iteration — the fine-grained form used for
+//     the SPD3 scalability study (Figure 3) and the ESP-bags comparison
+//     (Figure 4);
+//   - chunked: one async per worker — the coarse-grained form used for
+//     the apples-to-apples Eraser/FastTrack comparison (Table 2/3,
+//     Figures 5/6), mirroring the one-thread-per-core JGF originals.
+//
+// Each benchmark validates itself: Run returns a checksum that tests pin
+// against an independently computed reference, so the suite cannot
+// silently degenerate while still "running".
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"spd3/internal/task"
+)
+
+// Input selects a benchmark configuration.
+type Input struct {
+	// Scale multiplies the default problem size; 1.0 is the default
+	// laptop-scale size, smaller values shrink test/bench runs.
+	Scale float64
+	// Chunked selects the coarse one-chunk-per-worker loop
+	// decomposition instead of one-async-per-iteration.
+	Chunked bool
+}
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	// Name is the Table 1 benchmark name.
+	Name string
+	// Source is the originating suite ("JGF §2", "JGF §3", "BOTS",
+	// "Shootout", "EC2").
+	Source string
+	// Desc is the Table 1 description.
+	Desc string
+	// Args is the paper's input-size annotation.
+	Args string
+	// JGF marks the eight Java Grande benchmarks used in the
+	// Table 2/3 tool comparison.
+	JGF bool
+	// Run executes the benchmark on rt and returns its checksum.
+	Run func(rt *task.Runtime, in Input) (float64, error)
+}
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("bench: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// All returns the full suite in Table 1 order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	order := map[string]int{
+		"Series": 0, "LUFact": 1, "SOR": 2, "Crypt": 3, "Sparse": 4,
+		"MolDyn": 5, "MonteCarlo": 6, "RayTracer": 7,
+		"FFT": 8, "Health": 9, "NQueens": 10, "Strassen": 11,
+		"Fannkuch": 12, "Mandelbrot": 13, "Matmul": 14,
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i].Name] < order[out[j].Name] })
+	return out
+}
+
+// JGF returns the eight Java Grande benchmarks (the Table 2/3 subset).
+func JGF() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.JGF {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName looks a benchmark up by its Table 1 name.
+func ByName(name string) (*Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// scaled resizes a default dimension by in.Scale (rounded to nearest),
+// with a floor of lo.
+func (in Input) scaled(n, lo int) int {
+	s := in.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n)*s + 0.5)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// grain returns the loop grain for n iterations under this input: 1 for
+// the unchunked (fine-grained) decomposition, one chunk per worker for
+// the chunked one.
+func (in Input) grain(c *task.Ctx, n int) int {
+	if in.Chunked {
+		return c.ChunkGrain(n)
+	}
+	return 1
+}

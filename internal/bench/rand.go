@@ -1,0 +1,38 @@
+package bench
+
+// rng is a small deterministic splitmix64 generator used by the
+// benchmark kernels, so that every run of a benchmark touches identical
+// data regardless of platform or Go version.
+type rng struct{ s uint64 }
+
+// newRNG seeds a generator; equal seeds give equal streams.
+func newRNG(seed uint64) *rng { return &rng{s: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// gaussian returns an approximately standard-normal value (sum of 12
+// uniforms, the classic Irwin–Hall approximation — deterministic and
+// branch-free, which is all the Monte Carlo kernel needs).
+func (r *rng) gaussian() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.float64()
+	}
+	return s - 6
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"spd3/internal/detect"
+	"spd3/internal/task"
+)
+
+// shadowAtDepth builds a detector state where the accessing steps sit
+// depth finish-levels below the root, so the per-access DMHP walks cost
+// O(depth) — the §5.3 "characteristic of the application" overhead.
+func shadowAtDepth(b *testing.B, mode SyncMode, depth int,
+	body func(c *task.Ctx, sh detect.Shadow)) {
+	b.Helper()
+	sink := detect.NewSink(false, 0)
+	d := New(sink, mode)
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := d.NewShadow("x", 64, 8)
+	var nest func(c *task.Ctx, left int)
+	nest = func(c *task.Ctx, left int) {
+		if left == 0 {
+			body(c, sh)
+			return
+		}
+		c.Finish(func(c *task.Ctx) { nest(c, left-1) })
+	}
+	if err := rt.Run(func(c *task.Ctx) { nest(c, depth) }); err != nil {
+		b.Fatal(err)
+	}
+	if !sink.Empty() {
+		b.Fatal("benchmark program raced")
+	}
+}
+
+// BenchmarkShadowWrite measures the Algorithm 1 fast path: repeated
+// writes by the owning step (w == s short-circuit).
+func BenchmarkShadowWriteSameStep(b *testing.B) {
+	for _, mode := range []SyncMode{SyncCAS, SyncMutex} {
+		b.Run(mode.String(), func(b *testing.B) {
+			shadowAtDepth(b, mode, 4, func(c *task.Ctx, sh detect.Shadow) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sh.Write(c.Task(), 0)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShadowReadSteadyState measures the read-shared steady state
+// (two recorded readers, no update — the paper's motivating hot path for
+// the §5.4 snapshot protocol) at several tree depths.
+func BenchmarkShadowReadSteadyState(b *testing.B) {
+	for _, depth := range []int{2, 8, 24} {
+		depth := depth
+		b.Run(itoa(depth), func(b *testing.B) {
+			shadowAtDepth(b, SyncCAS, depth, func(c *task.Ctx, sh detect.Shadow) {
+				// Install two parallel readers.
+				c.Finish(func(c *task.Ctx) {
+					c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+					c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+				})
+				c.Finish(func(c *task.Ctx) {
+					c.Async(func(c *task.Ctx) {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							sh.Read(c.Task(), 0)
+						}
+					})
+				})
+			})
+		})
+	}
+}
+
+// BenchmarkTaskBoundary measures the O(1) DPST maintenance per async
+// (three node insertions).
+func BenchmarkTaskBoundary(b *testing.B) {
+	sink := detect.NewSink(false, 0)
+	d := New(sink, SyncCAS)
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	if err := rt.Run(func(c *task.Ctx) {
+		c.Finish(func(c *task.Ctx) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Async(func(c *task.Ctx) {})
+			}
+		})
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

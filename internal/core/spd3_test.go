@@ -1,0 +1,552 @@
+package core
+
+import (
+	"testing"
+
+	"spd3/internal/detect"
+	"spd3/internal/dpst"
+	"spd3/internal/task"
+)
+
+// newRT builds a runtime with a fresh SPD3 detector.
+func newRT(t *testing.T, mode SyncMode, exec task.ExecKind, workers int, halt bool) (*task.Runtime, *Detector, *detect.Sink) {
+	t.Helper()
+	sink := detect.NewSink(halt, 0)
+	d := New(sink, mode)
+	rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, d, sink
+}
+
+// TestDPSTConstructionFigure1 runs the Figure 1 program on the runtime and
+// checks that the detector builds exactly the paper's tree (plus the
+// continuation steps the figure elides because nothing follows them).
+func TestDPSTConstructionFigure1(t *testing.T) {
+	rt, d, _ := newRT(t, SyncCAS, task.Sequential, 1, false)
+	var step1, step2, step3, step4, step5, step6 *dpst.Node
+	err := rt.Run(func(c *task.Ctx) {
+		step1 = d.StepOf(c.Task())  // S1; S2
+		c.Async(func(c *task.Ctx) { // A1
+			step2 = d.StepOf(c.Task())  // S3; S4; S5
+			c.Async(func(c *task.Ctx) { // A2
+				step3 = d.StepOf(c.Task()) // S6
+			})
+			step4 = d.StepOf(c.Task()) // S7; S8
+		})
+		step5 = d.StepOf(c.Task())  // S9; S10; S11
+		c.Async(func(c *task.Ctx) { // A3
+			step6 = d.StepOf(c.Task()) // S12; S13
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The run's implicit finish (the paper's F1) is a finish node
+	// directly under the tree root.
+	root := step1.Parent
+	if root.Kind != dpst.FinishNode || root.Parent != d.Tree().Root() {
+		t.Fatalf("run finish = %v (parent %v), want finish under root", root, root.Parent)
+	}
+	// Parent structure: step1 under F1; step2 under A1 under F1;
+	// step3 under A2 under A1; step4 under A1; step5 under F1;
+	// step6 under A3 under F1.
+	a1 := step2.Parent
+	a2 := step3.Parent
+	a3 := step6.Parent
+	if step1.Parent != root || step5.Parent != root {
+		t.Error("step1/step5 must hang off the root finish")
+	}
+	if a1.Kind != dpst.AsyncNode || a1.Parent != root {
+		t.Errorf("A1 = %v (parent %v), want async under root", a1, a1.Parent)
+	}
+	if a2.Kind != dpst.AsyncNode || a2.Parent != a1 {
+		t.Errorf("A2 = %v (parent %v), want async under A1", a2, a2.Parent)
+	}
+	if step4.Parent != a1 {
+		t.Errorf("step4 parent = %v, want A1", step4.Parent)
+	}
+	if a3.Kind != dpst.AsyncNode || a3.Parent != root {
+		t.Errorf("A3 = %v (parent %v), want async under root", a3, a3.Parent)
+	}
+	// Sibling order under the root: step1 < A1 < step5 < A3.
+	if !(step1.Seq < a1.Seq && a1.Seq < step5.Seq && step5.Seq < a3.Seq) {
+		t.Errorf("root sibling order: step1=%d A1=%d step5=%d A3=%d",
+			step1.Seq, a1.Seq, step5.Seq, a3.Seq)
+	}
+	// §3.2 worked examples.
+	if !dpst.DMHP(step2, step5) {
+		t.Error("DMHP(step2, step5) = false, want true")
+	}
+	if dpst.DMHP(step6, step5) {
+		t.Error("DMHP(step6, step5) = true, want false")
+	}
+	// More pairs implied by the program.
+	if !dpst.DMHP(step3, step4) {
+		t.Error("DMHP(step3, step4) = false, want true (A2 vs A1 continuation)")
+	}
+	if dpst.DMHP(step1, step2) {
+		t.Error("DMHP(step1, step2) = true, want false (spawn order)")
+	}
+	if !dpst.DMHP(step3, step6) {
+		t.Error("DMHP(step3, step6) = false, want true (A2 subtree vs A3)")
+	}
+}
+
+// TestDPSTNodeCount checks the §5.3 size formula 3*(a+f)-1 on a program
+// where every async and finish has a following continuation, which is how
+// the runtime always builds the tree.
+func TestDPSTNodeCount(t *testing.T) {
+	rt, d, _ := newRT(t, SyncCAS, task.Sequential, 1, false)
+	const asyncs = 7
+	err := rt.Run(func(c *task.Ctx) {
+		c.Finish(func(c *task.Ctx) {
+			for i := 0; i < asyncs; i++ {
+				c.Async(func(c *task.Ctx) {})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a = 7 asyncs, f = 2 finishes (implicit + explicit); the implicit
+	// finish has no trailing continuation, hence the formula's -1.
+	// Our tree adds one extra node: the super-root that orders
+	// consecutive runs of a reused detector.
+	want := int64(3*(asyncs+2)-1) + 1
+	if got := d.Tree().Len(); got != want {
+		t.Errorf("DPST has %d nodes, want %d", got, want)
+	}
+}
+
+// shadowProgram runs body with a 8-element shadow region and returns the
+// recorded races. Racy test programs drive the shadow directly (no real
+// data is touched) so that `go test -race` stays quiet.
+func shadowProgram(t *testing.T, mode SyncMode, exec task.ExecKind, workers int,
+	body func(c *task.Ctx, sh detect.Shadow)) []detect.Race {
+	t.Helper()
+	rt, d, sink := newRT(t, mode, exec, workers, false)
+	sh := d.NewShadow("x", 8, 8)
+	if err := rt.Run(func(c *task.Ctx) { body(c, sh) }); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Races()
+}
+
+var modes = []SyncMode{SyncCAS, SyncMutex}
+
+func TestWriteWriteRace(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		})
+		if len(races) != 1 || races[0].Kind != detect.WriteWrite {
+			t.Errorf("%v: races = %v, want one write-write", m, races)
+		}
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 3) })
+				sh.Read(c.Task(), 3) // continuation reads in parallel with the async write
+			})
+		})
+		if len(races) != 1 || races[0].Kind != detect.WriteRead || races[0].Index != 3 {
+			t.Errorf("%v: races = %v, want one write-read at index 3", m, races)
+		}
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		})
+		if len(races) != 1 || races[0].Kind != detect.ReadWrite {
+			t.Errorf("%v: races = %v, want one read-write", m, races)
+		}
+	}
+}
+
+func TestNoRaceOrderedBySpawn(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			sh.Write(c.Task(), 0) // before the spawn: ordered with the async
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) {
+					sh.Read(c.Task(), 0)
+					sh.Write(c.Task(), 0)
+				})
+			})
+			sh.Read(c.Task(), 0) // after the finish: ordered
+			sh.Write(c.Task(), 0)
+		})
+		if len(races) != 0 {
+			t.Errorf("%v: races = %v, want none", m, races)
+		}
+	}
+}
+
+func TestNoRaceSameStep(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			sh.Read(c.Task(), 0)
+			sh.Write(c.Task(), 0)
+			sh.Read(c.Task(), 0)
+			sh.Write(c.Task(), 0)
+		})
+		if len(races) != 0 {
+			t.Errorf("%v: races = %v, want none", m, races)
+		}
+	}
+}
+
+// TestParallelReadsNoRace is the read-shared pattern that motivates the
+// two-reader design: many parallel readers, then an ordered write.
+func TestParallelReadsNoRace(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				for i := 0; i < 10; i++ {
+					c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+				}
+			})
+			sh.Write(c.Task(), 0) // ordered after all reads by the finish
+		})
+		if len(races) != 0 {
+			t.Errorf("%v: races = %v, want none", m, races)
+		}
+	}
+}
+
+// TestManyParallelReadersThenParallelWrite checks that discarding readers
+// beyond two loses no races: ten parallel readers, then a write parallel
+// with all of them must still be reported.
+func TestManyParallelReadersThenParallelWrite(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				for i := 0; i < 10; i++ {
+					c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+				}
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		})
+		if len(races) == 0 {
+			t.Errorf("%v: no race reported, want read-write", m)
+		}
+		for _, r := range races {
+			if r.Kind != detect.ReadWrite {
+				t.Errorf("%v: unexpected race kind %v", m, r.Kind)
+			}
+		}
+	}
+}
+
+// TestReaderReplacementLCA exercises Algorithm 2's LCA branch: two readers
+// under an inner finish are later joined by a reader with a higher LCA,
+// which must replace r1; a subsequent parallel write must be caught.
+func TestReaderReplacementLCA(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) {
+					c.Finish(func(c *task.Ctx) {
+						c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) }) // r1
+						c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) }) // r2
+					})
+				})
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })  // S: LCA(r1,S) is higher
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) }) // parallel with all
+			})
+		})
+		if len(races) == 0 {
+			t.Errorf("%v: no race reported after reader replacement", m)
+		}
+	}
+}
+
+// TestDiscardSafety checks the supersede branch: a read ordered after all
+// recorded readers replaces them, and a write parallel with the new reader
+// is still caught through it.
+func TestDiscardSafety(t *testing.T) {
+	for _, m := range modes {
+		races := shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+			})
+			sh.Read(c.Task(), 0) // ordered after both: supersedes
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) }) // parallel with the last read? no — ordered
+			})
+		})
+		// The async write is inside a finish that starts after the last
+		// read, so it is ordered after it: no race.
+		if len(races) != 0 {
+			t.Errorf("%v: races = %v, want none", m, races)
+		}
+
+		races = shadowProgram(t, m, task.Sequential, 1, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+			})
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) }) // supersedes inside finish? no: parallel with nothing prior
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		})
+		if len(races) == 0 {
+			t.Errorf("%v: missed read-write race after supersede", m)
+		}
+	}
+}
+
+// TestRacyProgramDetectedUnderEveryExecutor: Theorem 2's contrapositive —
+// if an input has a racy schedule, every monitored execution reports a
+// race, regardless of executor and scheduling.
+func TestRacyProgramDetectedUnderEveryExecutor(t *testing.T) {
+	execs := []struct {
+		kind    task.ExecKind
+		workers int
+	}{
+		{task.Sequential, 1},
+		{task.Goroutines, 1},
+		{task.Pool, 1},
+		{task.Pool, 4},
+		{task.Pool, 16},
+	}
+	for _, e := range execs {
+		for _, m := range modes {
+			races := shadowProgram(t, m, e.kind, e.workers, func(c *task.Ctx, sh detect.Shadow) {
+				c.Finish(func(c *task.Ctx) {
+					for i := 0; i < 16; i++ {
+						c.Async(func(c *task.Ctx) {
+							sh.Read(c.Task(), 1)
+							sh.Write(c.Task(), 0)
+						})
+					}
+				})
+			})
+			if len(races) == 0 {
+				t.Errorf("%v/%v/%d workers: racy program produced no report", m, e.kind, e.workers)
+			}
+		}
+	}
+}
+
+// TestRaceFreeUnderParallelExecutors: a data-race-free program must stay
+// quiet under heavy parallel execution (no false positives from the
+// versioned-snapshot protocol).
+func TestRaceFreeUnderParallelExecutors(t *testing.T) {
+	for _, m := range modes {
+		for _, workers := range []int{1, 4, 16} {
+			races := shadowProgram(t, m, task.Pool, workers, func(c *task.Ctx, sh detect.Shadow) {
+				for round := 0; round < 20; round++ {
+					// Disjoint writes, then shared reads: classic
+					// race-free phase structure.
+					c.Finish(func(c *task.Ctx) {
+						for i := 0; i < 8; i++ {
+							i := i
+							c.Async(func(c *task.Ctx) { sh.Write(c.Task(), i) })
+						}
+					})
+					c.Finish(func(c *task.Ctx) {
+						for i := 0; i < 8; i++ {
+							c.Async(func(c *task.Ctx) {
+								for j := 0; j < 8; j++ {
+									sh.Read(c.Task(), j)
+								}
+							})
+						}
+					})
+				}
+			})
+			if len(races) != 0 {
+				t.Errorf("%v/%d workers: false positives: %v", m, workers, races)
+			}
+		}
+	}
+}
+
+// TestHaltMode checks that halt-on-first-race stops further reporting.
+func TestHaltMode(t *testing.T) {
+	sink := detect.NewSink(true, 0)
+	d := New(sink, SyncCAS)
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := d.NewShadow("x", 4, 8)
+	err = rt.Run(func(c *task.Ctx) {
+		c.Finish(func(c *task.Ctx) {
+			for i := 0; i < 4; i++ {
+				i := i
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), i) })
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), i) })
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Stopped() {
+		t.Fatal("halt-mode sink not stopped after race")
+	}
+	if n := len(sink.Races()); n != 1 {
+		t.Fatalf("halt mode recorded %d races, want exactly 1", n)
+	}
+}
+
+// TestVerdictsAgreeAcrossModes runs a battery of small programs under both
+// sync modes and both parallel executors and demands identical verdicts.
+func TestVerdictsAgreeAcrossModes(t *testing.T) {
+	programs := []struct {
+		name string
+		racy bool
+		body func(c *task.Ctx, sh detect.Shadow)
+	}{
+		{"disjoint", false, func(c *task.Ctx, sh detect.Shadow) {
+			c.FinishAsync(8, func(c *task.Ctx, i int) { sh.Write(c.Task(), i) })
+		}},
+		{"sharedRead", false, func(c *task.Ctx, sh detect.Shadow) {
+			sh.Write(c.Task(), 0)
+			c.FinishAsync(8, func(c *task.Ctx, i int) { sh.Read(c.Task(), 0) })
+			sh.Write(c.Task(), 0)
+		}},
+		{"ww", true, func(c *task.Ctx, sh detect.Shadow) {
+			c.FinishAsync(2, func(c *task.Ctx, i int) { sh.Write(c.Task(), 0) })
+		}},
+		{"rw", true, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		}},
+	}
+	for _, m := range modes {
+		for _, p := range programs {
+			races := shadowProgram(t, m, task.Pool, 4, p.body)
+			if got := len(races) > 0; got != p.racy {
+				t.Errorf("%v/%s: racy = %v, want %v (%v)", m, p.name, got, p.racy, races)
+			}
+		}
+	}
+}
+
+// TestStepCacheSoundness: the opt-in per-step check cache must not
+// change any verdict. Re-run the verdict battery with the cache on,
+// including patterns that revisit locations within a step (the cache's
+// hit path) and across steps (its invalidation path).
+func TestStepCacheSoundness(t *testing.T) {
+	programs := []struct {
+		name string
+		racy bool
+		body func(c *task.Ctx, sh detect.Shadow)
+	}{
+		{"rereadWithinStep", false, func(c *task.Ctx, sh detect.Shadow) {
+			c.FinishAsync(4, func(c *task.Ctx, i int) {
+				for k := 0; k < 10; k++ {
+					sh.Read(c.Task(), 7) // shared read, repeated in-step
+					sh.Write(c.Task(), i)
+					sh.Write(c.Task(), i) // repeated write in-step
+				}
+			})
+		}},
+		{"writeAfterCachedRead", true, func(c *task.Ctx, sh detect.Shadow) {
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) {
+					sh.Read(c.Task(), 0)
+					sh.Read(c.Task(), 0) // cached
+					sh.Write(c.Task(), 0)
+				})
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		}},
+		{"crossStepInvalidation", true, func(c *task.Ctx, sh detect.Shadow) {
+			// The same task touches index 0 in two different steps
+			// separated by a spawn; the interleaved async write
+			// must still be caught.
+			c.Finish(func(c *task.Ctx) {
+				sh.Read(c.Task(), 0)
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+				sh.Read(c.Task(), 0) // new step; cache entry stale
+			})
+		}},
+	}
+	for _, p := range programs {
+		for _, mode := range modes {
+			sink := detect.NewSink(false, 0)
+			d := NewWith(sink, Options{Sync: mode, StepCache: true})
+			rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := d.NewShadow("x", 8, 8)
+			if err := rt.Run(func(c *task.Ctx) { p.body(c, sh) }); err != nil {
+				t.Fatal(err)
+			}
+			if got := !sink.Empty(); got != p.racy {
+				t.Errorf("%s/%v with cache: racy=%v, want %v (%v)",
+					p.name, mode, got, p.racy, sink.Races())
+			}
+		}
+	}
+}
+
+// TestConsecutiveRunsAreOrdered: when one detector (and its shadows) is
+// reused across several Runs, accesses of a later run must be treated as
+// happening after everything an earlier run joined — even accesses made
+// by asyncs hanging directly off the implicit finish.
+func TestConsecutiveRunsAreOrdered(t *testing.T) {
+	for _, m := range modes {
+		sink := detect.NewSink(false, 0)
+		d := New(sink, m)
+		rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := d.NewShadow("x", 1, 8)
+		if err := rt.Run(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(func(c *task.Ctx) {
+			sh.Read(c.Task(), 0)
+			sh.Write(c.Task(), 0)
+			c.Async(func(c *task.Ctx) { sh.Read(c.Task(), 0) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if races := sink.Races(); len(races) != 0 {
+			t.Fatalf("%v: cross-run false positives: %v", m, races)
+		}
+	}
+}
+
+func TestFootprintConstantPerLocation(t *testing.T) {
+	sink := detect.NewSink(false, 0)
+	d := New(sink, SyncCAS)
+	d.NewShadow("a", 1000, 8)
+	f1 := d.Footprint().ShadowBytes
+	d.NewShadow("b", 1000, 8)
+	f2 := d.Footprint().ShadowBytes
+	if f2-f1 != f1 {
+		t.Errorf("shadow bytes not linear in locations: %d then %d", f1, f2)
+	}
+	if per := f1 / 1000; per != casCellBytes {
+		t.Errorf("bytes per location = %d, want %d", per, casCellBytes)
+	}
+}

@@ -1,0 +1,238 @@
+// Package detect defines the event interface between the structured task
+// runtime and a dynamic data-race detector.
+//
+// The runtime (package task) emits one event per structural operation of the
+// program — task spawn, task end, finish start/end, lock acquire/release —
+// and asks the detector to allocate one Shadow per instrumented memory
+// region. Detectors implement the Detector interface; the engine wires
+// exactly one detector into a run. Implementations in this repository:
+//
+//   - internal/core:      SPD3, the paper's contribution (parallel, O(1) space)
+//   - internal/espbags:   ESP-bags (sequential depth-first baseline)
+//   - internal/fasttrack: FastTrack (vector-clock baseline)
+//   - internal/eraser:    Eraser (lockset baseline, imprecise)
+//   - internal/graph:     precise computation-DAG oracle (testing)
+//   - detect.Nop:         the uninstrumented baseline
+//
+// Event contract. All events are delivered from the goroutine currently
+// running the task named in the event. The runtime guarantees:
+//
+//   - BeforeSpawn(parent, child) is called in the parent before the child
+//     can start, so detector state installed on child is visible to it.
+//   - TaskEnd(t) is the last event of a task, delivered before the task's
+//     completion is counted against its finish scope.
+//   - FinishEnd(t, f) is delivered after every task registered in f (and,
+//     transitively, their descendants registered in f) has completed, and
+//     after all of their TaskEnd events.
+//
+// The runtime establishes the corresponding happens-before edges with
+// atomic operations, so a detector may hand state from TaskEnd to the
+// matching FinishEnd without additional synchronization of its own.
+package detect
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+)
+
+// TaskID identifies a dynamic task instance. The main task has ID 0; IDs
+// are assigned densely in spawn order.
+type TaskID int64
+
+// Task is the runtime's record of one dynamic task instance. The detector
+// owns the State field and may store arbitrary per-task state there.
+type Task struct {
+	ID     TaskID
+	Parent *Task   // nil for the main task
+	IEF    *Finish // immediately enclosing finish at spawn time
+	Depth  int32   // spawn-tree depth; main task is 0
+
+	// State is detector-private per-task state. It is written by the
+	// detector during MainTask/BeforeSpawn (in the parent's goroutine)
+	// and thereafter read and written only by the task itself.
+	State any
+}
+
+// Finish is the runtime's record of one dynamic finish instance, including
+// the implicit finish that encloses the whole program. The detector owns
+// State.
+type Finish struct {
+	ID    int64
+	Owner *Task // task that executes the finish statement
+
+	// State is detector-private. Detectors that accumulate join state
+	// (e.g. FastTrack's joined vector clock) must synchronize their own
+	// access: TaskEnd events of sibling tasks can be concurrent.
+	State any
+}
+
+// Lock is the runtime's record of one instrumented lock.
+type Lock struct {
+	ID    int64
+	State any
+}
+
+// BarrierInfo is the runtime's record of one instrumented barrier. The
+// detector owns State.
+type BarrierInfo struct {
+	ID    int64
+	State any
+}
+
+// BarrierObserver is optionally implemented by detectors that understand
+// barrier synchronization — the analogue of RoadRunner's special Barrier
+// Enter/Exit events the paper discusses in §6.3: with them, FastTrack
+// accepts the JGF programs' barrier-phased sharing; without them (SPD3,
+// whose model is pure async/finish), cross-phase conflicts are reported.
+//
+// The runtime calls BarrierArrive(t, b, gen) under the barrier's mutex
+// as each task reaches generation gen, and BarrierDepart(t, b, gen) from
+// each task after that generation completed (these may be concurrent
+// across tasks). The happens-before meaning: everything before any
+// arrival of gen precedes everything after any departure of gen.
+type BarrierObserver interface {
+	BarrierArrive(t *Task, b *BarrierInfo, gen int)
+	BarrierDepart(t *Task, b *BarrierInfo, gen int)
+}
+
+// AccessKind labels one side of a race.
+type AccessKind uint8
+
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Shadow is the detector's per-region shadow memory. The region is a dense
+// index space [0, n); element i shadows the program datum at index i.
+// Read and Write are called by the accessing task's goroutine and must be
+// safe for concurrent use when the detector supports parallel execution.
+type Shadow interface {
+	Read(t *Task, i int)
+	Write(t *Task, i int)
+}
+
+// SiteShadow is optionally implemented by shadows that can attribute the
+// current access to a source site (a program counter captured by the
+// instrumentation layer); race reports then carry file:line for the
+// access that completed the race. site 0 means unknown.
+type SiteShadow interface {
+	Shadow
+	ReadAt(t *Task, i int, site uintptr)
+	WriteAt(t *Task, i int, site uintptr)
+}
+
+// SiteString resolves a captured program counter to "file:line", or ""
+// for the zero site.
+func SiteString(site uintptr) string {
+	if site == 0 {
+		return ""
+	}
+	fn := runtime.FuncForPC(site)
+	if fn == nil {
+		return ""
+	}
+	file, line := fn.FileLine(site)
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// Detector is implemented by every race-detection algorithm.
+type Detector interface {
+	// Name returns a short stable identifier ("spd3", "fasttrack", ...).
+	Name() string
+
+	// RequiresSequential reports whether the algorithm is only correct
+	// under depth-first sequential execution (true for ESP-bags). The
+	// engine refuses to pair such a detector with a parallel executor.
+	RequiresSequential() bool
+
+	// MainTask announces the root task and its implicit enclosing finish.
+	// It is the first event of a run.
+	MainTask(t *Task, implicit *Finish)
+
+	// BeforeSpawn announces a new child task. It runs in the parent's
+	// goroutine before the child is made runnable.
+	BeforeSpawn(parent, child *Task)
+
+	// TaskEnd announces that t's body has finished. It runs in t's
+	// goroutine and is t's final event.
+	TaskEnd(t *Task)
+
+	// FinishStart announces that t began executing a finish statement.
+	FinishStart(t *Task, f *Finish)
+
+	// FinishEnd announces that the finish f has joined all of its tasks.
+	FinishEnd(t *Task, f *Finish)
+
+	// Acquire and Release bracket instrumented critical sections.
+	// Structured async/finish detectors (SPD3, ESP-bags) may ignore them.
+	Acquire(t *Task, l *Lock)
+	Release(t *Task, l *Lock)
+
+	// NewShadow allocates shadow state for an instrumented region of n
+	// elements. name labels race reports; elemBytes sizes the shadowed
+	// data for footprint accounting.
+	NewShadow(name string, n int, elemBytes int) Shadow
+
+	// Footprint returns the detector's current analytic memory usage.
+	Footprint() Footprint
+}
+
+// Footprint is a detector's analytic accounting of the bytes it allocated,
+// mirroring the paper's Table 3 / Figure 6 memory comparison in a
+// deterministic, GC-independent way.
+type Footprint struct {
+	ShadowBytes int64 // per-location shadow words (O(1) vs O(n) is visible here)
+	TreeBytes   int64 // DPST nodes (SPD3) or bag nodes (ESP-bags)
+	ClockBytes  int64 // vector clocks (FastTrack)
+	SetBytes    int64 // locksets (Eraser)
+}
+
+// Total returns the sum of all accounted bytes.
+func (f Footprint) Total() int64 {
+	return f.ShadowBytes + f.TreeBytes + f.ClockBytes + f.SetBytes
+}
+
+// Nop is the uninstrumented baseline: every event and access is a no-op.
+// Engine uses it when no detector is configured; benchmark slowdowns are
+// measured against it.
+type Nop struct{}
+
+func (Nop) Name() string                      { return "base" }
+func (Nop) RequiresSequential() bool          { return false }
+func (Nop) MainTask(*Task, *Finish)           {}
+func (Nop) BeforeSpawn(*Task, *Task)          {}
+func (Nop) TaskEnd(*Task)                     {}
+func (Nop) FinishStart(*Task, *Finish)        {}
+func (Nop) FinishEnd(*Task, *Finish)          {}
+func (Nop) Acquire(*Task, *Lock)              {}
+func (Nop) Release(*Task, *Lock)              {}
+func (Nop) NewShadow(string, int, int) Shadow { return nopShadow{} }
+func (Nop) Footprint() Footprint              { return Footprint{} }
+
+type nopShadow struct{}
+
+func (nopShadow) Read(*Task, int)  {}
+func (nopShadow) Write(*Task, int) {}
+
+// Counter is a small atomic helper used by detectors for ID assignment and
+// byte accounting.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds delta and returns the new value.
+func (c *Counter) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }

@@ -1,0 +1,230 @@
+package detect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRaceString(t *testing.T) {
+	r := Race{Kind: WriteWrite, Region: "buf", Index: 7, PrevStep: "step#1", CurStep: "step#2"}
+	s := r.String()
+	for _, want := range []string{"write-write", "buf[7]", "step#1", "step#2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRaceKindStrings(t *testing.T) {
+	cases := map[RaceKind]string{
+		ReadWrite:    "read-write",
+		WriteWrite:   "write-write",
+		WriteRead:    "write-read",
+		RaceKind(99): "RaceKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("AccessKind strings wrong")
+	}
+}
+
+func TestSinkDedup(t *testing.T) {
+	s := NewSink(false, 0)
+	for i := 0; i < 5; i++ {
+		s.Report(Race{Kind: WriteWrite, Region: "a", Index: 1})
+	}
+	s.Report(Race{Kind: ReadWrite, Region: "a", Index: 1})
+	s.Report(Race{Kind: WriteWrite, Region: "a", Index: 2})
+	if got := len(s.Races()); got != 3 {
+		t.Fatalf("recorded %d races, want 3 distinct", got)
+	}
+}
+
+func TestSinkSorted(t *testing.T) {
+	s := NewSink(false, 0)
+	s.Report(Race{Kind: WriteWrite, Region: "b", Index: 0})
+	s.Report(Race{Kind: WriteWrite, Region: "a", Index: 2})
+	s.Report(Race{Kind: WriteWrite, Region: "a", Index: 1})
+	races := s.Races()
+	if races[0].Region != "a" || races[0].Index != 1 || races[2].Region != "b" {
+		t.Fatalf("order = %v", races)
+	}
+}
+
+func TestSinkHaltMode(t *testing.T) {
+	s := NewSink(true, 0)
+	if s.Stopped() {
+		t.Fatal("fresh sink stopped")
+	}
+	if halt := s.Report(Race{Region: "a"}); !halt {
+		t.Fatal("halt-mode Report must request halt")
+	}
+	if !s.Stopped() {
+		t.Fatal("sink not stopped after report")
+	}
+}
+
+func TestSinkLimit(t *testing.T) {
+	s := NewSink(false, 2)
+	for i := 0; i < 5; i++ {
+		s.Report(Race{Region: "a", Index: i})
+	}
+	if len(s.Races()) != 2 || !s.Capped() {
+		t.Fatalf("races = %d capped = %v", len(s.Races()), s.Capped())
+	}
+}
+
+func TestSinkMarkAndSince(t *testing.T) {
+	s := NewSink(false, 0)
+	s.Report(Race{Region: "a", Index: 0})
+	mark := s.Mark()
+	s.Report(Race{Region: "a", Index: 1})
+	s.Report(Race{Region: "a", Index: 2})
+	since := s.RacesSince(mark)
+	if len(since) != 2 || since[0].Index != 1 {
+		t.Fatalf("RacesSince = %v", since)
+	}
+	if got := s.RacesSince(-5); len(got) != 3 {
+		t.Fatalf("RacesSince(-5) = %v", got)
+	}
+	if got := s.RacesSince(999); len(got) != 0 {
+		t.Fatalf("RacesSince(999) = %v", got)
+	}
+}
+
+func TestSinkConcurrent(t *testing.T) {
+	s := NewSink(false, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Report(Race{Region: "r", Index: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(s.Races()); got != 100 {
+		t.Fatalf("recorded %d, want 100 distinct", got)
+	}
+}
+
+// TestSinkQuickDedupInvariant: property test (testing/quick) — for any
+// report sequence, the sink holds exactly the distinct (kind, region,
+// index) triples, in sorted order.
+func TestSinkQuickDedupInvariant(t *testing.T) {
+	check := func(kinds []uint8, idxs []uint8) bool {
+		s := NewSink(false, 0)
+		distinct := map[[2]int]bool{}
+		for i := range kinds {
+			idx := 0
+			if i < len(idxs) {
+				idx = int(idxs[i]) % 8
+			}
+			k := RaceKind(kinds[i] % 3)
+			s.Report(Race{Kind: k, Region: "r", Index: idx})
+			distinct[[2]int{int(k), idx}] = true
+		}
+		races := s.Races()
+		if len(races) != len(distinct) {
+			return false
+		}
+		for i := 1; i < len(races); i++ {
+			a, b := races[i-1], races[i]
+			if a.Index > b.Index || (a.Index == b.Index && a.Kind >= b.Kind) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintTotal(t *testing.T) {
+	f := Footprint{ShadowBytes: 1, TreeBytes: 2, ClockBytes: 4, SetBytes: 8}
+	if f.Total() != 15 {
+		t.Fatalf("Total = %d", f.Total())
+	}
+}
+
+func TestNopDetector(t *testing.T) {
+	var d Detector = Nop{}
+	if d.Name() != "base" || d.RequiresSequential() {
+		t.Fatal("Nop misconfigured")
+	}
+	sh := d.NewShadow("x", 4, 8)
+	sh.Read(nil, 0) // must not touch the task
+	sh.Write(nil, 3)
+	if d.Footprint().Total() != 0 {
+		t.Fatal("Nop has a footprint")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := NewStats()
+	main := &Task{}
+	fin := &Finish{}
+	s.MainTask(main, fin)
+	child := &Task{ID: 1}
+	s.BeforeSpawn(main, child)
+	s.BeforeSpawn(main, &Task{ID: 2})
+	s.FinishStart(main, &Finish{ID: 1})
+	l := &Lock{}
+	s.Acquire(main, l)
+	s.Release(main, l)
+
+	a := s.NewShadow("a", 10, 8)
+	b := s.NewShadow("b", 5, 8)
+	for i := 0; i < 7; i++ {
+		a.Read(main, 0)
+	}
+	a.Write(main, 1)
+	b.Write(main, 2)
+	b.Write(main, 3)
+
+	if s.Tasks.Load() != 3 || s.Finishes.Load() != 1 || s.LockOps.Load() != 2 {
+		t.Fatalf("counts: %s", s)
+	}
+	reads, writes := s.Accesses()
+	if reads != 7 || writes != 3 {
+		t.Fatalf("accesses = %d/%d", reads, writes)
+	}
+	regs := s.Regions()
+	if len(regs) != 2 || regs[0].Name != "a" || regs[1].Name != "b" {
+		t.Fatalf("region order = %v, %v", regs[0].Name, regs[1].Name)
+	}
+	if !strings.Contains(s.String(), "tasks 3") {
+		t.Fatalf("String() = %q", s.String())
+	}
+	if s.Name() != "stats" || s.RequiresSequential() || s.Footprint().Total() != 0 {
+		t.Fatal("stats detector misconfigured")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if SiteString(0) != "" {
+		t.Fatal("zero site must render empty")
+	}
+	if SiteString(1) != "" {
+		t.Fatal("bogus pc must render empty, not panic")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Add(5) != 5 || c.Add(-2) != 3 || c.Load() != 3 {
+		t.Fatal("Counter arithmetic wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RaceKind classifies a detected race by the order and kinds of the two
+// conflicting accesses, matching the paper's read-write / write-read /
+// write-write terminology in Algorithms 1 and 2.
+type RaceKind uint8
+
+const (
+	ReadWrite  RaceKind = iota // earlier read, current write (Algorithm 1)
+	WriteWrite                 // earlier write, current write (Algorithm 1)
+	WriteRead                  // earlier write, current read  (Algorithm 2)
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case ReadWrite:
+		return "read-write"
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	default:
+		return fmt.Sprintf("RaceKind(%d)", uint8(k))
+	}
+}
+
+// Race describes one detected data race: two conflicting accesses to the
+// same element of an instrumented region that may happen in parallel.
+type Race struct {
+	Kind   RaceKind
+	Region string // label passed to NewShadow
+	Index  int    // element index within the region
+
+	// PrevStep and CurStep identify the two conflicting steps using
+	// detector-specific step identifiers (DPST node IDs for SPD3, task
+	// IDs for the baselines). They are informational.
+	PrevStep string
+	CurStep  string
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on %s[%d] between %s and %s",
+		r.Kind, r.Region, r.Index, r.PrevStep, r.CurStep)
+}
+
+// key is the deduplication key: one report per (kind, region, element).
+type key struct {
+	kind   RaceKind
+	region string
+	index  int
+}
+
+// Sink collects race reports from a detector. It is safe for concurrent
+// use. Depending on configuration it either records the first race and
+// requests a halt (the paper's semantics) or deduplicates and keeps going
+// (needed to benchmark Eraser, whose false positives would otherwise stop
+// every run).
+type Sink struct {
+	stopped atomic.Bool // set on first report in halt mode; hot-path readable
+
+	mu     sync.Mutex
+	halt   bool // halt on first race
+	seen   map[key]struct{}
+	races  []Race
+	capped bool
+	limit  int
+}
+
+// NewSink returns a race sink. If haltFirst is true the first report
+// triggers Halted; otherwise reports are deduplicated up to limit
+// (0 means a default of 1024).
+func NewSink(haltFirst bool, limit int) *Sink {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &Sink{halt: haltFirst, seen: make(map[key]struct{}), limit: limit}
+}
+
+// Report records a race. It returns true when execution should halt.
+func (s *Sink) Report(r Race) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key{r.Kind, r.Region, r.Index}
+	if _, dup := s.seen[k]; !dup {
+		s.seen[k] = struct{}{}
+		if len(s.races) < s.limit {
+			s.races = append(s.races, r)
+		} else {
+			s.capped = true
+		}
+	}
+	if s.halt {
+		s.stopped.Store(true)
+	}
+	return s.halt
+}
+
+// Stopped reports whether a halt-mode sink has already recorded a race.
+// Detectors consult it on their hot paths to stop checking, emulating the
+// paper's "report a race and halt" semantics without cancelling the
+// program's execution.
+func (s *Sink) Stopped() bool { return s.stopped.Load() }
+
+// Mark returns a cursor for RacesSince: races recorded so far.
+func (s *Sink) Mark() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.races)
+}
+
+// RacesSince returns the races recorded after the given Mark cursor,
+// sorted like Races. It lets an engine report per-run races while the
+// sink (and its deduplication) lives as long as the detector.
+func (s *Sink) RacesSince(mark int) []Race {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(s.races) {
+		mark = len(s.races)
+	}
+	out := make([]Race, len(s.races)-mark)
+	copy(out, s.races[mark:])
+	sortRaces(out)
+	return out
+}
+
+// Races returns the recorded races sorted by region, index, and kind.
+func (s *Sink) Races() []Race {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Race, len(s.races))
+	copy(out, s.races)
+	sortRaces(out)
+	return out
+}
+
+func sortRaces(out []Race) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Empty reports whether no race has been recorded.
+func (s *Sink) Empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.races) == 0
+}
+
+// Capped reports whether reports were dropped because the limit was hit.
+func (s *Sink) Capped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capped
+}

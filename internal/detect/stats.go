@@ -1,0 +1,122 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a detector that counts instead of detecting: dynamic tasks,
+// finish instances, lock operations, and per-region reads and writes. It
+// characterizes a workload — how many locations are monitored and how hot
+// they are — which is what explains the per-benchmark slowdown spread in
+// the paper's Figure 3 ("these benchmarks contain larger numbers of
+// shared locations that need to be monitored").
+type Stats struct {
+	Tasks    Counter
+	Finishes Counter
+	LockOps  Counter
+
+	mu      sync.Mutex
+	regions []*RegionStats
+}
+
+// RegionStats counts one instrumented region's traffic.
+type RegionStats struct {
+	Name   string
+	Elems  int
+	Reads  atomic.Int64
+	Writes atomic.Int64
+}
+
+// NewStats returns an empty Stats collector.
+func NewStats() *Stats { return &Stats{} }
+
+// Name implements Detector.
+func (s *Stats) Name() string { return "stats" }
+
+// RequiresSequential implements Detector.
+func (s *Stats) RequiresSequential() bool { return false }
+
+// MainTask implements Detector.
+func (s *Stats) MainTask(*Task, *Finish) { s.Tasks.Add(1) }
+
+// BeforeSpawn implements Detector.
+func (s *Stats) BeforeSpawn(*Task, *Task) { s.Tasks.Add(1) }
+
+// TaskEnd implements Detector.
+func (s *Stats) TaskEnd(*Task) {}
+
+// FinishStart implements Detector.
+func (s *Stats) FinishStart(*Task, *Finish) { s.Finishes.Add(1) }
+
+// FinishEnd implements Detector.
+func (s *Stats) FinishEnd(*Task, *Finish) {}
+
+// Acquire implements Detector.
+func (s *Stats) Acquire(*Task, *Lock) { s.LockOps.Add(1) }
+
+// Release implements Detector.
+func (s *Stats) Release(*Task, *Lock) { s.LockOps.Add(1) }
+
+// NewShadow implements Detector.
+func (s *Stats) NewShadow(name string, n, elemBytes int) Shadow {
+	r := &RegionStats{Name: name, Elems: n}
+	s.mu.Lock()
+	s.regions = append(s.regions, r)
+	s.mu.Unlock()
+	return r
+}
+
+// Footprint implements Detector.
+func (s *Stats) Footprint() Footprint { return Footprint{} }
+
+// Regions returns per-region counts sorted by total traffic, descending.
+func (s *Stats) Regions() []*RegionStats {
+	s.mu.Lock()
+	out := make([]*RegionStats, len(s.regions))
+	copy(out, s.regions)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].Reads.Load() + out[i].Writes.Load()
+		tj := out[j].Reads.Load() + out[j].Writes.Load()
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Accesses returns the total monitored reads and writes.
+func (s *Stats) Accesses() (reads, writes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.regions {
+		reads += r.Reads.Load()
+		writes += r.Writes.Load()
+	}
+	return reads, writes
+}
+
+// String renders a compact summary.
+func (s *Stats) String() string {
+	reads, writes := s.Accesses()
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks %d, finishes %d, lock ops %d, reads %d, writes %d",
+		s.Tasks.Load(), s.Finishes.Load(), s.LockOps.Load(), reads, writes)
+	return b.String()
+}
+
+// Read implements Shadow.
+func (r *RegionStats) Read(*Task, int) { r.Reads.Add(1) }
+
+// Write implements Shadow.
+func (r *RegionStats) Write(*Task, int) { r.Writes.Add(1) }
+
+var (
+	_ Detector = (*Stats)(nil)
+	_ Shadow   = (*RegionStats)(nil)
+)

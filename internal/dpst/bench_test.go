@@ -1,0 +1,62 @@
+package dpst
+
+import "testing"
+
+// deepPair builds two steps whose LCA sits depth levels above them, the
+// worst case for the §5.2 walk.
+func deepPair(depth int) (*Node, *Node) {
+	t := New()
+	left, right := t.Root(), t.Root()
+	for i := 0; i < depth; i++ {
+		left = t.NewChild(left, AsyncNode)
+	}
+	for i := 0; i < depth; i++ {
+		right = t.NewChild(right, FinishNode)
+	}
+	return t.NewChild(left, StepNode), t.NewChild(right, StepNode)
+}
+
+func BenchmarkNewChild(b *testing.B) {
+	t := New()
+	parent := t.Root()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.NewChild(parent, StepNode)
+	}
+}
+
+func BenchmarkLCA(b *testing.B) {
+	for _, depth := range []int{4, 16, 64} {
+		s1, s2 := deepPair(depth)
+		b.Run(itoa(depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LCA(s1, s2)
+			}
+		})
+	}
+}
+
+func BenchmarkDMHP(b *testing.B) {
+	for _, depth := range []int{4, 16, 64} {
+		s1, s2 := deepPair(depth)
+		b.Run(itoa(depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				DMHP(s1, s2)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"testing"
+
+	"spd3/internal/detect"
+	"spd3/internal/task"
+)
+
+func record(t *testing.T, body func(c *task.Ctx, sh detect.Shadow)) *Oracle {
+	t.Helper()
+	o := New()
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := o.NewShadow("v", 8, 8)
+	if err := rt.Run(func(c *task.Ctx) { body(c, sh) }); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNoRaceSequential(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		sh.Write(c.Task(), 0)
+		sh.Read(c.Task(), 0)
+		sh.Write(c.Task(), 0)
+	})
+	if o.HasRace() {
+		t.Fatal("sequential accesses flagged")
+	}
+}
+
+func TestParallelWritesRace(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) { sh.Write(c.Task(), 0) })
+	})
+	if !o.HasRace() {
+		t.Fatal("parallel writes not flagged")
+	}
+	if races := o.Races(); len(races) != 1 || races[0].Index != 0 {
+		t.Fatalf("races = %v", races)
+	}
+}
+
+func TestFinishOrders(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+		})
+		sh.Write(c.Task(), 0)
+	})
+	if o.HasRace() {
+		t.Fatal("finish-ordered writes flagged")
+	}
+}
+
+func TestSpawnOrdersPrefixOnly(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		sh.Write(c.Task(), 0) // before spawn: ordered
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			sh.Write(c.Task(), 1) // parallel with the async, different var
+		})
+	})
+	if o.HasRace() {
+		t.Fatal("no conflicting parallel accesses, but race reported")
+	}
+
+	o = record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			sh.Write(c.Task(), 0) // continuation conflicts with async
+		})
+	})
+	if !o.HasRace() {
+		t.Fatal("continuation/async conflict not flagged")
+	}
+}
+
+func TestTransitiveJoin(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			})
+		})
+		sh.Write(c.Task(), 0)
+	})
+	if o.HasRace() {
+		t.Fatal("transitively joined write flagged")
+	}
+}
+
+func TestInnerFinishDoesNotJoinOuterTasks(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
+			c.Finish(func(c *task.Ctx) {
+				c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 1) })
+			})
+			sh.Write(c.Task(), 0) // still parallel with the first async
+		})
+	})
+	if !o.HasRace() {
+		t.Fatal("async outside inner finish wrongly serialized")
+	}
+}
+
+func TestMHPSymmetricIrreflexive(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.FinishAsync(3, func(c *task.Ctx, i int) { sh.Read(c.Task(), i) })
+	})
+	n := o.Steps()
+	for a := 0; a < n; a++ {
+		if o.MHP(a, a) {
+			t.Fatalf("MHP(%d,%d) true", a, a)
+		}
+		for b := 0; b < n; b++ {
+			if o.MHP(a, b) != o.MHP(b, a) {
+				t.Fatalf("MHP not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestLockEdgesOrderCriticalSections(t *testing.T) {
+	o := New()
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := o.NewShadow("v", 2, 8)
+	l := rt.NewLock()
+	err = rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(3, func(c *task.Ctx, i int) {
+			c.Acquire(l)
+			sh.Read(c.Task(), 0)
+			sh.Write(c.Task(), 0)
+			c.Release(l)
+			sh.Write(c.Task(), 1) // outside the lock: still parallel
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := o.Races()
+	if len(races) != 1 || races[0].Index != 1 {
+		t.Fatalf("races = %v, want exactly the unlocked index 1", races)
+	}
+}
+
+func TestLockEdgeDoesNotOrderPostRelease(t *testing.T) {
+	// Accesses after a release must not inherit the release's ordering
+	// to the next acquirer (the over-ordering bug class).
+	o := New()
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := o.NewShadow("v", 1, 8)
+	l := rt.NewLock()
+	err = rt.Run(func(c *task.Ctx) {
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) {
+				c.Acquire(l)
+				c.Release(l)
+				sh.Write(c.Task(), 0) // after release
+			})
+			c.Async(func(c *task.Ctx) {
+				c.Acquire(l)
+				sh.Write(c.Task(), 0) // inside second critical section
+				c.Release(l)
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasRace() {
+		t.Fatal("post-release write wrongly ordered before the next critical section")
+	}
+}
+
+func TestReadReadNeverRaces(t *testing.T) {
+	o := record(t, func(c *task.Ctx, sh detect.Shadow) {
+		c.FinishAsync(4, func(c *task.Ctx, i int) { sh.Read(c.Task(), 0) })
+	})
+	if o.HasRace() {
+		t.Fatal("parallel reads flagged")
+	}
+}

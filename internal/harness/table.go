@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table is one experiment's result in structured form, renderable as
+// aligned text or CSV.
+type Table struct {
+	// Title is the paper artifact name plus configuration notes.
+	Title string
+	// Notes are free-form caption lines printed under the title.
+	Notes []string
+	// Header names the columns.
+	Header []string
+	// Rows hold the cells, already formatted.
+	Rows [][]string
+}
+
+// AddRow appends one row; cells are formatted with %v (floats as %.2f,
+// durations as seconds).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format selects a Table renderer.
+type Format uint8
+
+// Formats.
+const (
+	// Text renders an aligned human-readable table (default).
+	Text Format = iota
+	// CSV renders RFC-4180 CSV with the title as a comment-like first
+	// record.
+	CSV
+)
+
+// Render writes the table to w in the given format.
+func (t *Table) Render(w io.Writer, f Format) error {
+	switch f {
+	case CSV:
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"# " + t.Title}); err != nil {
+			return err
+		}
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+		for _, r := range t.Rows {
+			if err := cw.Write(r); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	default:
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+		for _, n := range t.Notes {
+			if _, err := fmt.Fprintln(w, n); err != nil {
+				return err
+			}
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for i, h := range t.Header {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, h)
+		}
+		fmt.Fprintln(tw)
+		for _, r := range t.Rows {
+			for i, c := range r {
+				if i > 0 {
+					fmt.Fprint(tw, "\t")
+				}
+				fmt.Fprint(tw, c)
+			}
+			fmt.Fprintln(tw)
+		}
+		return tw.Flush()
+	}
+}

@@ -1,0 +1,108 @@
+package mem
+
+import (
+	"sync"
+
+	"spd3/internal/task"
+)
+
+// Accumulator is an HJ-style finish accumulator: a reduction cell that
+// any number of parallel tasks may Put into, with the combined value
+// readable once those tasks have been joined (typically right after the
+// enclosing finish).
+//
+// Accumulators are race-free by construction — Put goes to a per-worker
+// partial (or a mutex under non-pool executors) and Value combines the
+// partials — so they carry no shadow memory and cost the detector
+// nothing. They are the idiomatic replacement for the read-modify-write
+// reduction races that SPD3 flags (see examples/quickstart): instead of
+// fixing such a race with a manual partial-sums array, use an
+// Accumulator.
+//
+// The combine function must be associative and commutative; Put order
+// across tasks is not defined.
+type Accumulator[T any] struct {
+	combine func(a, b T) T
+	slots   []accSlot[T]
+
+	mu      sync.Mutex
+	rest    T
+	hasRest bool
+}
+
+// accSlot is one worker's partial, padded to avoid false sharing between
+// adjacent workers' partials.
+type accSlot[T any] struct {
+	v   T
+	set bool
+	_   [32]byte
+}
+
+// NewAccumulator returns an accumulator over combine for rt's workers.
+// The zero T acts as the identity only in the sense that the first Put
+// into a slot stores rather than combines.
+func NewAccumulator[T any](rt *task.Runtime, combine func(a, b T) T) *Accumulator[T] {
+	return &Accumulator[T]{
+		combine: combine,
+		slots:   make([]accSlot[T], rt.Workers()),
+	}
+}
+
+// Put folds v into the accumulator. Safe to call from any task.
+func (a *Accumulator[T]) Put(c *task.Ctx, v T) {
+	if id := c.WorkerID(); id >= 0 && id < len(a.slots) {
+		s := &a.slots[id]
+		if s.set {
+			s.v = a.combine(s.v, v)
+		} else {
+			s.v, s.set = v, true
+		}
+		return
+	}
+	a.mu.Lock()
+	if a.hasRest {
+		a.rest = a.combine(a.rest, v)
+	} else {
+		a.rest, a.hasRest = v, true
+	}
+	a.mu.Unlock()
+}
+
+// Value combines and returns all partials. Call it only after the tasks
+// that Put have been joined (after the enclosing finish, or after Run);
+// calling it while producers still run is itself a race the accumulator
+// cannot see.
+func (a *Accumulator[T]) Value() (T, bool) {
+	var acc T
+	have := false
+	fold := func(v T) {
+		if have {
+			acc = a.combine(acc, v)
+		} else {
+			acc, have = v, true
+		}
+	}
+	for i := range a.slots {
+		if a.slots[i].set {
+			fold(a.slots[i].v)
+		}
+	}
+	a.mu.Lock()
+	if a.hasRest {
+		fold(a.rest)
+	}
+	a.mu.Unlock()
+	return acc, have
+}
+
+// Reset clears the accumulator for reuse.
+func (a *Accumulator[T]) Reset() {
+	for i := range a.slots {
+		var zero T
+		a.slots[i].v, a.slots[i].set = zero, false
+	}
+	a.mu.Lock()
+	var zero T
+	a.rest, a.hasRest = zero, false
+	a.mu.Unlock()
+}

@@ -1,0 +1,198 @@
+// Package mem provides the instrumented shared-memory containers through
+// which programs under analysis access data.
+//
+// The paper instruments HJ programs with a bytecode pass that inserts
+// detector calls on every shared read and write (§5). Go has no bytecode
+// layer, so instrumentation lives in the data-access API instead: an
+// Array, Matrix, or Var routes every Get/Set through the detector's
+// shadow memory before touching the datum. The detection semantics are
+// identical — the same checks at the same program points — only the agent
+// inserting the call differs.
+//
+// The Raw/RawAt escape hatches correspond to the paper's §5.5 static
+// optimizations (main-task check elimination, read-only check
+// elimination, escape analysis for task-local data): where the programmer
+// — playing the role of the static analysis — can prove accesses cannot
+// race, checks are elided. Benchmarks use them exactly where the paper's
+// optimizer would fire.
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"spd3/internal/detect"
+	"spd3/internal/task"
+)
+
+// Array is a one-dimensional instrumented array of T.
+type Array[T any] struct {
+	data  []T
+	sh    detect.Shadow
+	sited detect.SiteShadow // non-nil when site capture is on and supported
+}
+
+// siteShadow returns the shadow's site-capable form when rt asks for
+// site capture and the detector supports it.
+func siteShadow(rt *task.Runtime, sh detect.Shadow) detect.SiteShadow {
+	if !rt.CaptureSites() {
+		return nil
+	}
+	ss, _ := sh.(detect.SiteShadow)
+	return ss
+}
+
+// callerSite captures the program counter of the instrumented access's
+// caller.
+func callerSite() uintptr {
+	pc, _, _, _ := runtime.Caller(2)
+	return pc
+}
+
+// NewArray allocates an instrumented array of n elements named name in
+// race reports.
+func NewArray[T any](rt *task.Runtime, name string, n int) *Array[T] {
+	var zero T
+	sh := rt.Detector().NewShadow(name, n, int(unsafe.Sizeof(zero)))
+	return &Array[T]{data: make([]T, n), sh: sh, sited: siteShadow(rt, sh)}
+}
+
+// Len returns the number of elements.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Get performs an instrumented read of element i.
+func (a *Array[T]) Get(c *task.Ctx, i int) T {
+	if a.sited != nil {
+		a.sited.ReadAt(c.Task(), i, callerSite())
+	} else {
+		a.sh.Read(c.Task(), i)
+	}
+	return a.data[i]
+}
+
+// Set performs an instrumented write of element i.
+func (a *Array[T]) Set(c *task.Ctx, i int, v T) {
+	if a.sited != nil {
+		a.sited.WriteAt(c.Task(), i, callerSite())
+	} else {
+		a.sh.Write(c.Task(), i)
+	}
+	a.data[i] = v
+}
+
+// Update applies f to element i as an instrumented read-modify-write.
+func (a *Array[T]) Update(c *task.Ctx, i int, f func(T) T) {
+	if a.sited != nil {
+		site := callerSite()
+		a.sited.ReadAt(c.Task(), i, site)
+		a.sited.WriteAt(c.Task(), i, site)
+	} else {
+		a.sh.Read(c.Task(), i)
+		a.sh.Write(c.Task(), i)
+	}
+	a.data[i] = f(a.data[i])
+}
+
+// Raw returns the backing slice without instrumentation. Use only for
+// provably race-free phases (task-local or read-only data); this is the
+// programmer-directed analogue of the paper's §5.5 check eliminations.
+func (a *Array[T]) Raw() []T { return a.data }
+
+// Matrix is a two-dimensional instrumented array stored in row-major
+// order; element (i,j) has shadow index i*cols+j.
+type Matrix[T any] struct {
+	rows, cols int
+	data       []T
+	sh         detect.Shadow
+	sited      detect.SiteShadow
+}
+
+// NewMatrix allocates an instrumented rows×cols matrix.
+func NewMatrix[T any](rt *task.Runtime, name string, rows, cols int) *Matrix[T] {
+	var zero T
+	sh := rt.Detector().NewShadow(name, rows*cols, int(unsafe.Sizeof(zero)))
+	return &Matrix[T]{
+		rows:  rows,
+		cols:  cols,
+		data:  make([]T, rows*cols),
+		sh:    sh,
+		sited: siteShadow(rt, sh),
+	}
+}
+
+// Rows returns the row count.
+func (m *Matrix[T]) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix[T]) Cols() int { return m.cols }
+
+// Get performs an instrumented read of element (i, j).
+func (m *Matrix[T]) Get(c *task.Ctx, i, j int) T {
+	if m.sited != nil {
+		m.sited.ReadAt(c.Task(), i*m.cols+j, callerSite())
+	} else {
+		m.sh.Read(c.Task(), i*m.cols+j)
+	}
+	return m.data[i*m.cols+j]
+}
+
+// Set performs an instrumented write of element (i, j).
+func (m *Matrix[T]) Set(c *task.Ctx, i, j int, v T) {
+	if m.sited != nil {
+		m.sited.WriteAt(c.Task(), i*m.cols+j, callerSite())
+	} else {
+		m.sh.Write(c.Task(), i*m.cols+j)
+	}
+	m.data[i*m.cols+j] = v
+}
+
+// Row returns row i of the backing store without instrumentation; see
+// Array.Raw for when this is legitimate.
+func (m *Matrix[T]) Row(i int) []T { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Raw returns the whole backing store without instrumentation.
+func (m *Matrix[T]) Raw() []T { return m.data }
+
+// Var is a single instrumented shared variable.
+type Var[T any] struct {
+	v     T
+	sh    detect.Shadow
+	sited detect.SiteShadow
+}
+
+// NewVar allocates an instrumented variable with initial value init.
+func NewVar[T any](rt *task.Runtime, name string, init T) *Var[T] {
+	var zero T
+	sh := rt.Detector().NewShadow(name, 1, int(unsafe.Sizeof(zero)))
+	return &Var[T]{v: init, sh: sh, sited: siteShadow(rt, sh)}
+}
+
+// Get performs an instrumented read.
+func (v *Var[T]) Get(c *task.Ctx) T {
+	if v.sited != nil {
+		v.sited.ReadAt(c.Task(), 0, callerSite())
+	} else {
+		v.sh.Read(c.Task(), 0)
+	}
+	return v.v
+}
+
+// Set performs an instrumented write.
+func (v *Var[T]) Set(c *task.Ctx, x T) {
+	if v.sited != nil {
+		v.sited.WriteAt(c.Task(), 0, callerSite())
+	} else {
+		v.sh.Write(c.Task(), 0)
+	}
+	v.v = x
+}
+
+// Mutex is an instrumented lock: it provides real mutual exclusion via a
+// sync.Mutex and reports acquire/release to the detector, which FastTrack
+// and Eraser use for their lock semantics. SPD3 and ESP-bags, which
+// target pure async/finish programs, ignore the events.
+type Mutex struct {
+	mu sync.Mutex
+	l  *detect.Lock
+}

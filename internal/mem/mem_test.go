@@ -1,0 +1,266 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/task"
+)
+
+func newRT(t *testing.T) (*task.Runtime, *detect.Sink) {
+	t.Helper()
+	sink := detect.NewSink(false, 0)
+	rt, err := task.New(task.Config{Executor: task.Sequential,
+		Detector: core.New(sink, core.SyncCAS)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, sink
+}
+
+func TestArrayGetSet(t *testing.T) {
+	rt, sink := newRT(t)
+	a := NewArray[int](rt, "a", 10)
+	err := rt.Run(func(c *task.Ctx) {
+		for i := 0; i < a.Len(); i++ {
+			a.Set(c, i, i*i)
+		}
+		for i := 0; i < a.Len(); i++ {
+			if got := a.Get(c, i); got != i*i {
+				t.Errorf("a[%d] = %d", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Empty() {
+		t.Fatalf("races: %v", sink.Races())
+	}
+}
+
+func TestArrayUpdateIsReadModifyWrite(t *testing.T) {
+	// Update must count as both a read and a write: two parallel
+	// Updates race.
+	rt, sink := newRT(t)
+	a := NewArray[int](rt, "a", 1)
+	err := rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			a.Update(c, 0, func(v int) int { return v + 1 })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("parallel Updates not reported")
+	}
+}
+
+func TestMatrixIndexing(t *testing.T) {
+	rt, sink := newRT(t)
+	m := NewMatrix[int](rt, "m", 3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	err := rt.Run(func(c *task.Ctx) {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 5; j++ {
+				m.Set(c, i, j, i*100+j)
+			}
+		}
+		if got := m.Get(c, 2, 4); got != 204 {
+			t.Errorf("m[2][4] = %d", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Row(1)[3]; got != 103 {
+		t.Errorf("Row(1)[3] = %d", got)
+	}
+	if len(m.Raw()) != 15 {
+		t.Errorf("Raw len = %d", len(m.Raw()))
+	}
+	if !sink.Empty() {
+		t.Fatalf("races: %v", sink.Races())
+	}
+}
+
+// TestMatrixShadowIsPerElement: writes to different elements of the same
+// row must not be confused — i.e. the shadow index space is element-
+// granular, not row-granular.
+func TestMatrixShadowIsPerElement(t *testing.T) {
+	rt, sink := newRT(t)
+	m := NewMatrix[int](rt, "m", 2, 8)
+	err := rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(8, func(c *task.Ctx, j int) {
+			m.Set(c, 0, j, j)
+			m.Set(c, 1, j, j)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Empty() {
+		t.Fatalf("column-disjoint writes raced: %v", sink.Races())
+	}
+}
+
+func TestVar(t *testing.T) {
+	rt, sink := newRT(t)
+	v := NewVar(rt, "v", 41)
+	err := rt.Run(func(c *task.Ctx) {
+		v.Set(c, v.Get(c)+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Empty() {
+		t.Fatalf("races: %v", sink.Races())
+	}
+	// Parallel access to a Var must race.
+	rt2, sink2 := newRT(t)
+	v2 := NewVar(rt2, "v2", 0)
+	if err := rt2.Run(func(c *task.Ctx) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) { v2.Set(c, i) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sink2.Empty() {
+		t.Fatal("parallel Var writes not reported")
+	}
+}
+
+func TestRawBypassesDetection(t *testing.T) {
+	// Raw is the §5.5 escape hatch: accesses through it are invisible
+	// to the detector (the caller asserts they cannot race).
+	rt, sink := newRT(t)
+	a := NewArray[int](rt, "a", 4)
+	err := rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			a.Raw()[0] = i // would race if instrumented; sequential executor keeps it safe here
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Empty() {
+		t.Fatalf("Raw access was instrumented: %v", sink.Races())
+	}
+}
+
+// TestArrayQuickSequentialSemantics: property test (testing/quick) — an
+// instrumented array behaves exactly like a plain slice under any
+// sequence of single-task sets.
+func TestArrayQuickSequentialSemantics(t *testing.T) {
+	check := func(writes []uint8, vals []int16) bool {
+		rt, sink := newRT(t)
+		const n = 16
+		a := NewArray[int](rt, "a", n)
+		ref := make([]int, n)
+		err := rt.Run(func(c *task.Ctx) {
+			for i, w := range writes {
+				v := 0
+				if i < len(vals) {
+					v = int(vals[i])
+				}
+				idx := int(w) % n
+				a.Set(c, idx, v)
+				ref[idx] = v
+			}
+			for i := 0; i < n; i++ {
+				if a.Get(c, i) != ref[i] {
+					t.Errorf("a[%d] = %d, want %d", i, a.Get(c, i), ref[i])
+				}
+			}
+		})
+		return err == nil && sink.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSiteCaptureAllContainers: with CaptureSites on, races completed
+// through Array, Matrix, Var, and Update all carry this file's name.
+func TestSiteCaptureAllContainers(t *testing.T) {
+	sink := detect.NewSink(false, 0)
+	rt, err := task.New(task.Config{Executor: task.Sequential,
+		Detector: core.New(sink, core.SyncCAS), CaptureSites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArray[int](rt, "a", 1)
+	m := NewMatrix[int](rt, "m", 1, 1)
+	v := NewVar(rt, "v", 0)
+	err = rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			a.Set(c, 0, i)
+			m.Set(c, 0, 0, i)
+			v.Set(c, i)
+			a.Update(c, 0, func(x int) int { return x + 1 })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := sink.Races()
+	if len(races) == 0 {
+		t.Fatal("no races on deliberately racy program")
+	}
+	for _, r := range races {
+		if !strings.Contains(r.CurStep, "mem_test.go:") {
+			t.Errorf("race lacks site: %v", r)
+		}
+	}
+}
+
+// TestSiteCaptureOffByDefault: without the option, reports carry no
+// file:line and no runtime.Caller cost is paid.
+func TestSiteCaptureOffByDefault(t *testing.T) {
+	sink := detect.NewSink(false, 0)
+	rt, err := task.New(task.Config{Executor: task.Sequential,
+		Detector: core.New(sink, core.SyncCAS)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArray[int](rt, "a", 1)
+	if err := rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) { a.Set(c, 0, i) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sink.Races() {
+		if strings.Contains(r.CurStep, ".go:") {
+			t.Errorf("unexpected site in %v", r)
+		}
+	}
+}
+
+func TestMutexProvidesMutualExclusion(t *testing.T) {
+	sink := detect.NewSink(false, 0)
+	rt, err := task.New(task.Config{Executor: task.Goroutines,
+		Detector: core.New(sink, core.SyncCAS)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := NewMutex(rt)
+	counter := 0 // plain state: safe only because of mu
+	err = rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(64, func(c *task.Ctx, i int) {
+			mu.Lock(c)
+			counter++
+			mu.Unlock(c)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 64 {
+		t.Fatalf("counter = %d, want 64 (lost updates)", counter)
+	}
+}

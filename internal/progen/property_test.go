@@ -1,0 +1,313 @@
+package progen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/dpst"
+	"spd3/internal/espbags"
+	"spd3/internal/fasttrack"
+	"spd3/internal/graph"
+	"spd3/internal/task"
+)
+
+const (
+	seqSeeds      = 400 // programs checked under the sequential executor
+	parallelSeeds = 80  // subset re-checked under parallel executors
+)
+
+// truth runs p under the oracle and returns whether any schedule races.
+func truth(t *testing.T, p *Program) bool {
+	t.Helper()
+	o := graph.New()
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(rt, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	return o.HasRace()
+}
+
+// verdict runs p under det and returns whether it reported a race.
+func verdict(t *testing.T, p *Program, det detect.Detector, sink *detect.Sink,
+	exec task.ExecKind, workers int) bool {
+	t.Helper()
+	rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(rt, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	return !sink.Empty()
+}
+
+// TestSPD3SoundAndPreciseVsOracle is the central property test for
+// Theorems 2–4: over hundreds of random programs, SPD3's verdict under a
+// depth-first execution equals the oracle's all-schedules ground truth —
+// no false negatives, no false positives.
+func TestSPD3SoundAndPreciseVsOracle(t *testing.T) {
+	for seed := int64(0); seed < seqSeeds; seed++ {
+		p := Generate(seed, Config{})
+		want := truth(t, p)
+		for _, opt := range []core.Options{
+			{Sync: core.SyncCAS},
+			{Sync: core.SyncMutex},
+			{Sync: core.SyncCAS, StepCache: true},
+			{Sync: core.SyncMutex, StepCache: true},
+		} {
+			sink := detect.NewSink(false, 0)
+			got := verdict(t, p, core.NewWith(sink, opt), sink, task.Sequential, 1)
+			if got != want {
+				t.Fatalf("seed %d (%+v): spd3 verdict %v, oracle %v\n%s",
+					seed, opt, got, want, p)
+			}
+		}
+	}
+}
+
+// TestSPD3ScheduleIndependence re-checks a subset of seeds under the
+// work-stealing pool and the goroutine executor: by Theorems 2–3 the
+// verdict must not depend on the schedule.
+func TestSPD3ScheduleIndependence(t *testing.T) {
+	execs := []struct {
+		kind    task.ExecKind
+		workers int
+	}{
+		{task.Pool, 4},
+		{task.Goroutines, 1},
+	}
+	for seed := int64(0); seed < parallelSeeds; seed++ {
+		p := Generate(seed, Config{})
+		want := truth(t, p)
+		for _, e := range execs {
+			for rep := 0; rep < 3; rep++ { // several schedules
+				sink := detect.NewSink(false, 0)
+				got := verdict(t, p, core.New(sink, core.SyncCAS), sink, e.kind, e.workers)
+				if got != want {
+					t.Fatalf("seed %d %v rep %d: spd3 verdict %v, oracle %v\n%s",
+						seed, e.kind, rep, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+// TestESPBagsMatchesOracle validates the sequential baseline the same way.
+func TestESPBagsMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < seqSeeds; seed++ {
+		p := Generate(seed, Config{})
+		want := truth(t, p)
+		sink := detect.NewSink(false, 0)
+		got := verdict(t, p, espbags.New(sink), sink, task.Sequential, 1)
+		if got != want {
+			t.Fatalf("seed %d: esp-bags verdict %v, oracle %v\n%s", seed, got, want, p)
+		}
+	}
+}
+
+// TestFastTrackMatchesOracle: for pure async/finish programs the
+// happens-before relation is schedule-independent, so FastTrack — precise
+// for the observed trace — must also match the oracle.
+func TestFastTrackMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < seqSeeds; seed++ {
+		p := Generate(seed, Config{})
+		want := truth(t, p)
+		sink := detect.NewSink(false, 0)
+		got := verdict(t, p, fasttrack.New(sink), sink, task.Sequential, 1)
+		if got != want {
+			t.Fatalf("seed %d: fasttrack verdict %v, oracle %v\n%s", seed, got, want, p)
+		}
+	}
+}
+
+// pathSig canonically names a DPST node by the child-sequence path from
+// the root, e.g. "f/2a/1s": stable across executions by the §3.2
+// path-invariance property.
+func pathSig(n *dpst.Node) string {
+	var parts []string
+	for ; n != nil; n = n.Parent {
+		var k byte
+		switch n.Kind {
+		case dpst.FinishNode:
+			k = 'f'
+		case dpst.AsyncNode:
+			k = 'a'
+		default:
+			k = 's'
+		}
+		parts = append(parts, fmt.Sprintf("%d%c", n.Seq, k))
+	}
+	// reverse
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// signatures runs p under the given executor with SPD3 attached and
+// returns site → DPST path of the step performing that access.
+func signatures(t *testing.T, p *Program, exec task.ExecKind, workers int) map[int]string {
+	t.Helper()
+	sink := detect.NewSink(false, 0)
+	d := core.New(sink, core.SyncCAS)
+	rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(map[int]string, p.Sites)
+	var mu sync.Mutex
+	hook := func(c *task.Ctx, site int, isWrite bool) {
+		sig := pathSig(d.StepOf(c.Task()))
+		mu.Lock()
+		sigs[site] = sig
+		mu.Unlock()
+	}
+	if err := Run(rt, p, hook); err != nil {
+		t.Fatal(err)
+	}
+	return sigs
+}
+
+// TestDPSTDeterminism checks the §3.2 property: for a given input, every
+// execution yields the same DPST — each access site lands on a step with
+// an identical root path under sequential, pool, and goroutine execution.
+func TestDPSTDeterminism(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < parallelSeeds*2 && checked < parallelSeeds; seed++ {
+		p := Generate(seed, Config{})
+		ref := signatures(t, p, task.Sequential, 1)
+		for _, e := range []struct {
+			kind    task.ExecKind
+			workers int
+		}{{task.Pool, 4}, {task.Goroutines, 1}} {
+			got := signatures(t, p, e.kind, e.workers)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d %v: %d sites, want %d", seed, e.kind, len(got), len(ref))
+			}
+			for site, sig := range ref {
+				if got[site] != sig {
+					t.Fatalf("seed %d %v: site %d path %q, want %q\n%s",
+						seed, e.kind, site, got[site], sig, p)
+				}
+			}
+		}
+		checked++
+	}
+}
+
+// TestFastTrackMatchesLockOracle: with locks in play, ground truth is the
+// observed trace's happens-before (fork/join plus release→acquire edges
+// in observed order); FastTrack is precise for exactly that relation, so
+// under the deterministic sequential executor the verdicts must coincide.
+func TestFastTrackMatchesLockOracle(t *testing.T) {
+	cfg := Config{Locks: 2}
+	for seed := int64(0); seed < seqSeeds; seed++ {
+		p := Generate(seed, cfg)
+		o := graph.New()
+		rt, err := task.New(task.Config{Executor: task.Sequential, Detector: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Run(rt, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := o.HasRace()
+
+		sink := detect.NewSink(false, 0)
+		got := verdict(t, p, fasttrack.New(sink), sink, task.Sequential, 1)
+		if got != want {
+			t.Fatalf("seed %d: fasttrack verdict %v, lock oracle %v\n%s", seed, got, want, p)
+		}
+	}
+}
+
+// TestLockCorpusHasLockSensitiveCases makes sure the lock corpus isn't
+// vacuous: some programs must be race-free *because of* their locks
+// (racy when lock edges are ignored).
+func TestLockCorpusHasLockSensitiveCases(t *testing.T) {
+	sensitive := 0
+	for seed := int64(0); seed < seqSeeds && sensitive < 5; seed++ {
+		p := Generate(seed, Config{Locks: 2})
+		withLocks := graph.New()
+		rt, _ := task.New(task.Config{Executor: task.Sequential, Detector: withLocks})
+		if err := Run(rt, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		if withLocks.HasRace() {
+			continue
+		}
+		// Same program, locks invisible: SPD3 sees only fork/join.
+		sink := detect.NewSink(false, 0)
+		if verdict(t, p, core.New(sink, core.SyncCAS), sink, task.Sequential, 1) {
+			sensitive++
+		}
+	}
+	if sensitive < 5 {
+		t.Fatalf("only %d lock-sensitive programs in the corpus; widen the generator", sensitive)
+	}
+}
+
+// TestProgramRendering: the pseudocode printer covers every node kind.
+func TestProgramRendering(t *testing.T) {
+	found := map[string]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, Config{Locks: 1}).String()
+		for _, kw := range []string{"async {", "finish {", "locked l", "v["} {
+			if strings.Contains(s, kw) {
+				found[kw] = true
+			}
+		}
+	}
+	for _, kw := range []string{"async {", "finish {", "locked l", "v["} {
+		if !found[kw] {
+			t.Errorf("no generated program rendered %q", kw)
+		}
+	}
+}
+
+// TestGeneratorDeterminism: same seed, same program.
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Generate(42, Config{})
+	b := Generate(42, Config{})
+	if a.String() != b.String() {
+		t.Fatal("generator is not deterministic")
+	}
+	if a.Sites == 0 {
+		t.Fatal("seed 42 generated no accesses; widen the generator")
+	}
+}
+
+// TestGeneratorShapes: the corpus must actually contain parallelism and
+// both verdict classes, or the property tests above prove nothing.
+func TestGeneratorShapes(t *testing.T) {
+	var racy, quiet, withAsync int
+	for seed := int64(0); seed < seqSeeds; seed++ {
+		p := Generate(seed, Config{})
+		a, _, acc := p.Stats()
+		if a > 0 {
+			withAsync++
+		}
+		if acc == 0 {
+			continue
+		}
+		if truth(t, p) {
+			racy++
+		} else {
+			quiet++
+		}
+	}
+	t.Logf("corpus: %d racy, %d race-free, %d with asyncs", racy, quiet, withAsync)
+	if racy < seqSeeds/10 || quiet < seqSeeds/10 {
+		t.Fatalf("unbalanced corpus: %d racy vs %d race-free", racy, quiet)
+	}
+	if withAsync < seqSeeds*3/4 {
+		t.Fatalf("only %d/%d programs spawn tasks", withAsync, seqSeeds)
+	}
+}

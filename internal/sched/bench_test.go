@@ -1,0 +1,32 @@
+package sched
+
+import "testing"
+
+func BenchmarkPushPop(b *testing.B) {
+	d := NewDeque[int]()
+	x := 42
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(&x)
+		d.Pop()
+	}
+}
+
+func BenchmarkSteal(b *testing.B) {
+	d := NewDeque[int]()
+	x := 42
+	for i := 0; i < b.N; i++ {
+		d.Push(&x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}
+
+func BenchmarkSignalNoWaiters(b *testing.B) {
+	ec := NewEventCount()
+	for i := 0; i < b.N; i++ {
+		ec.Signal()
+	}
+}

@@ -1,0 +1,120 @@
+// Package sched provides the work-stealing building blocks used by the
+// parallel executor of the structured task runtime: a Chase–Lev
+// work-stealing deque and a parker for idle workers.
+//
+// The paper's HJ runtime schedules tasks on a fixed set of worker threads
+// with work-stealing (§6, the SLAW scheduler). Go has no structured
+// fork-join runtime, so this package rebuilds the substrate: each worker
+// owns a deque; it pushes and pops at the bottom while thieves steal from
+// the top. The implementation follows Chase & Lev, "Dynamic Circular
+// Work-Stealing Deque" (SPAA 2005); Go's sync/atomic operations are
+// sequentially consistent, which subsumes the fences required by the
+// weak-memory formulation of Lê et al.
+package sched
+
+import "sync/atomic"
+
+const initialRingSize = 64 // must be a power of two
+
+// ring is a circular array of items. Entries are atomic because a thief
+// may read a slot while the owner rewrites it after wrap-around.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](size int64) *ring[T] {
+	return &ring[T]{mask: size - 1, buf: make([]atomic.Pointer[T], size)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, x *T) { r.buf[i&r.mask].Store(x) }
+func (r *ring[T]) size() int64       { return r.mask + 1 }
+
+// grow returns a ring of twice the size holding the elements in [top, bottom).
+func (r *ring[T]) grow(top, bottom int64) *ring[T] {
+	n := newRing[T](2 * r.size())
+	for i := top; i < bottom; i++ {
+		n.put(i, r.get(i))
+	}
+	return n
+}
+
+// Deque is a Chase–Lev work-stealing deque of *T. The owner calls Push
+// and Pop; any goroutine may call Steal. The zero value is not usable;
+// call NewDeque.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	array  atomic.Pointer[ring[T]]
+}
+
+// NewDeque returns an empty deque.
+func NewDeque[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.array.Store(newRing[T](initialRingSize))
+	return d
+}
+
+// Push adds x at the bottom. Owner only.
+func (d *Deque[T]) Push(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= a.size() {
+		a = a.grow(t, b)
+		d.array.Store(a)
+	}
+	a.put(b, x)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the bottom item, or nil when the deque is
+// empty. Owner only.
+func (d *Deque[T]) Pop() *T {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the invariant bottom >= top.
+		d.bottom.Store(t)
+		return nil
+	}
+	x := a.get(b)
+	if t != b {
+		return x // more than one item; no race with thieves
+	}
+	// Single item left: race against thieves for it.
+	if !d.top.CompareAndSwap(t, t+1) {
+		x = nil // a thief won
+	}
+	d.bottom.Store(t + 1)
+	return x
+}
+
+// Steal removes and returns the top item. It returns (nil, false) when
+// the deque is empty and (nil, true) when it lost a race and the caller
+// may retry. Safe for any goroutine.
+func (d *Deque[T]) Steal() (x *T, retry bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.array.Load()
+	x = a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return x, false
+}
+
+// Size returns a point-in-time estimate of the number of items.
+func (d *Deque[T]) Size() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EventCount is an "eventcount" used to park idle workers without lost
+// wakeups. Usage follows the standard three-phase protocol:
+//
+//	ep := ec.PrepareWait() // register as a waiter, snapshot the epoch
+//	if workAvailable() {   // re-check AFTER registering
+//		ec.CancelWait()
+//		... consume ...
+//	} else {
+//		ec.CommitWait(ep) // blocks unless a Signal intervened
+//	}
+//
+// Registering before the re-check is what closes the race: a producer that
+// pushes work and then Signals either (a) ran its Signal before the waiter
+// registered, in which case Go's sequentially-consistent atomics guarantee
+// the re-check observes the pushed work, or (b) saw the registration, in
+// which case it bumps the epoch and CommitWait returns immediately.
+//
+// Signal is cheap on the fast path: when no worker is parked it is a
+// single atomic load, so pushing a task does not take a lock.
+type EventCount struct {
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
+	epoch   uint64
+}
+
+// NewEventCount returns a ready-to-use eventcount.
+func NewEventCount() *EventCount {
+	e := &EventCount{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// PrepareWait registers the caller as a waiter and snapshots the epoch.
+// Every PrepareWait must be followed by exactly one CancelWait or
+// CommitWait.
+func (e *EventCount) PrepareWait() uint64 {
+	e.waiters.Add(1)
+	e.mu.Lock()
+	ep := e.epoch
+	e.mu.Unlock()
+	return ep
+}
+
+// CancelWait deregisters the caller without blocking.
+func (e *EventCount) CancelWait() {
+	e.waiters.Add(-1)
+}
+
+// CommitWait blocks until the epoch advances past the snapshot, then
+// deregisters the caller. It returns immediately if a Signal already
+// intervened since PrepareWait.
+func (e *EventCount) CommitWait(epoch uint64) {
+	e.mu.Lock()
+	for e.epoch == epoch {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+	e.waiters.Add(-1)
+}
+
+// Signal wakes all current waiters. When nobody is parked it is a single
+// atomic load.
+func (e *EventCount) Signal() {
+	if e.waiters.Load() == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.epoch++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}

@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOForOwner(t *testing.T) {
+	d := NewDeque[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	ptrs := make([]*int, len(vals))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+		d.Push(ptrs[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		if got := d.Pop(); got != ptrs[i] {
+			t.Fatalf("Pop = %v, want &vals[%d]", got, i)
+		}
+	}
+	if d.Pop() != nil {
+		t.Fatal("Pop on empty deque must return nil")
+	}
+}
+
+func TestDequeFIFOForThieves(t *testing.T) {
+	d := NewDeque[int]()
+	vals := []int{1, 2, 3}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := range vals {
+		got, retry := d.Steal()
+		if retry || got != &vals[i] {
+			t.Fatalf("Steal #%d = (%v, %v), want &vals[%d]", i, got, retry, i)
+		}
+	}
+	if got, retry := d.Steal(); got != nil || retry {
+		t.Fatal("Steal on empty deque must report empty")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := NewDeque[int]()
+	const n = 10 * initialRingSize
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	if d.Size() != n {
+		t.Fatalf("Size = %d, want %d", d.Size(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		got := d.Pop()
+		if got == nil || *got != i {
+			t.Fatalf("Pop #%d = %v", i, got)
+		}
+	}
+}
+
+// TestDequeStress hammers one owner (push/pop) against several thieves
+// and checks that every pushed item is consumed exactly once.
+func TestDequeStress(t *testing.T) {
+	const (
+		items   = 20000
+		thieves = 4
+	)
+	d := NewDeque[int]()
+	var consumed atomic.Int64
+	var seen [items]atomic.Int32
+	take := func(p *int) {
+		if p == nil {
+			return
+		}
+		if seen[*p].Add(1) != 1 {
+			t.Errorf("item %d consumed twice", *p)
+		}
+		consumed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				x, _ := d.Steal()
+				take(x)
+				select {
+				case <-stop:
+					// Drain what is left.
+					for {
+						x, retry := d.Steal()
+						if x == nil && !retry {
+							return
+						}
+						take(x)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	vals := make([]int, items)
+	for i := 0; i < items; i++ {
+		vals[i] = i
+		d.Push(&vals[i])
+		if i%3 == 0 {
+			take(d.Pop())
+		}
+	}
+	for {
+		x := d.Pop()
+		if x == nil {
+			break
+		}
+		take(x)
+	}
+	close(stop)
+	wg.Wait()
+	// The final owner drain can race with thieves' last steals; scoop
+	// up anything left.
+	for {
+		x := d.Pop()
+		if x == nil {
+			break
+		}
+		take(x)
+	}
+	if got := consumed.Load(); got != items {
+		t.Fatalf("consumed %d items, want %d", got, items)
+	}
+}
+
+// TestDequeQuickSequential: property test (testing/quick) — for any
+// sequence of push/pop/steal operations, the deque behaves like the
+// obvious reference: pops take the newest live item, steals the oldest,
+// and nothing is lost or duplicated.
+func TestDequeQuickSequential(t *testing.T) {
+	type op = byte // 0,1 push; 2 pop; 3 steal
+	check := func(ops []op) bool {
+		d := NewDeque[int]()
+		var ref []int // reference: live items, oldest first
+		next := 0
+		vals := make([]int, len(ops)+1)
+		for _, o := range ops {
+			switch o % 4 {
+			case 0, 1:
+				vals[next] = next
+				d.Push(&vals[next])
+				ref = append(ref, next)
+				next++
+			case 2:
+				got := d.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if got == nil || *got != want {
+					return false
+				}
+			case 3:
+				got, retry := d.Steal()
+				if retry {
+					return false // no contention possible here
+				}
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if got == nil || *got != want {
+					return false
+				}
+			}
+		}
+		return int64(len(ref)) == d.Size()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventCountNoLostWakeup stresses the prepare/cancel/commit protocol:
+// a consumer must never sleep through a produced item.
+func TestEventCountNoLostWakeup(t *testing.T) {
+	ec := NewEventCount()
+	var queue atomic.Int64
+	const items = 50000
+	done := make(chan struct{})
+
+	go func() { // consumer
+		consumed := 0
+		for consumed < items {
+			if queue.Load() > 0 {
+				queue.Add(-1)
+				consumed++
+				continue
+			}
+			ep := ec.PrepareWait()
+			if queue.Load() > 0 {
+				ec.CancelWait()
+				continue
+			}
+			ec.CommitWait(ep)
+		}
+		close(done)
+	}()
+
+	for i := 0; i < items; i++ {
+		queue.Add(1)
+		ec.Signal()
+	}
+	<-done // hangs forever on a lost wakeup; go test's timeout catches it
+}
+
+func TestEventCountSignalWithoutWaiters(t *testing.T) {
+	ec := NewEventCount()
+	ec.Signal() // must not panic or deadlock
+	ep := ec.PrepareWait()
+	ec.CancelWait()
+	_ = ep
+}

@@ -1,0 +1,54 @@
+package task
+
+import "testing"
+
+// BenchmarkSpawnJoin measures raw task overhead: one finish joining many
+// empty asyncs, the operation whose O(1)-per-event cost §5.3 analyzes.
+func BenchmarkSpawnJoin(b *testing.B) {
+	for _, e := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"sequential", Config{Executor: Sequential}},
+		{"pool-1", Config{Executor: Pool, Workers: 1}},
+		{"pool-4", Config{Executor: Pool, Workers: 4}},
+		{"goroutines", Config{Executor: Goroutines}},
+	} {
+		rt, err := New(e.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(e.name, func(b *testing.B) {
+			b.ReportAllocs()
+			err := rt.Run(func(c *Ctx) {
+				c.Finish(func(c *Ctx) {
+					for i := 0; i < b.N; i++ {
+						c.Async(func(c *Ctx) {})
+					}
+				})
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFinishNesting measures deep finish scopes.
+func BenchmarkFinishNesting(b *testing.B) {
+	rt, err := New(Config{Executor: Pool, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	err = rt.Run(func(c *Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.Finish(func(c *Ctx) {
+				c.Async(func(c *Ctx) {})
+			})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

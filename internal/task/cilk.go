@@ -1,0 +1,61 @@
+package task
+
+// Cilk provides Cilk-style spawn/sync parallelism as sugar over
+// async/finish, realizing the paper's §2 claim that async/finish
+// generalizes spawn/sync ("the algorithm presented in this paper is
+// applicable to async/finish constructs, which means it also handles
+// spawn/sync constructs").
+//
+// Semantics (Cilk-5): Spawn forks a child that runs in parallel with the
+// remainder of the current procedure; Sync blocks until every child this
+// procedure has spawned so far has completed (including their transitive
+// spawn trees, because children sync implicitly on return); every
+// procedure syncs implicitly before returning.
+//
+// The embedding: the spawns between two syncs of one procedure live in
+// one finish scope, opened lazily at the first Spawn and closed at the
+// next Sync; each spawned child is an async whose body is itself run
+// under RunCilk, giving it the implicit final sync. Detectors therefore
+// see plain async/finish events and need no spawn/sync support — SPD3's
+// DPST for a Cilk program is exactly the tree its §2 discussion
+// describes.
+type Cilk struct {
+	c    *Ctx
+	prev *scope
+	open bool
+}
+
+// RunCilk executes body as a Cilk procedure on the current task: body
+// may Spawn and Sync, and a final implicit Sync runs before RunCilk
+// returns.
+func RunCilk(c *Ctx, body func(k *Cilk)) {
+	k := &Cilk{c: c}
+	body(k)
+	k.Sync()
+}
+
+// Ctx returns the underlying task context (for instrumented memory
+// accesses within the procedure).
+func (k *Cilk) Ctx() *Ctx { return k.c }
+
+// Spawn forks child as a Cilk procedure running in parallel with the
+// remainder of this procedure, joined at the next Sync.
+func (k *Cilk) Spawn(child func(k *Cilk)) {
+	if !k.open {
+		k.prev = k.c.beginFinish()
+		k.open = true
+	}
+	k.c.Async(func(c *Ctx) { RunCilk(c, child) })
+}
+
+// Sync blocks until every procedure spawned so far (and its transitive
+// spawn tree) has completed. A Sync with no outstanding spawns is a
+// no-op, as in Cilk.
+func (k *Cilk) Sync() {
+	if !k.open {
+		return
+	}
+	k.c.endFinish(k.prev)
+	k.open = false
+	k.prev = nil
+}

@@ -1,0 +1,41 @@
+package task
+
+// goExec runs one goroutine per task and lets the Go scheduler multiplex
+// them. It exists to demonstrate scheduler independence: SPD3's guarantees
+// do not depend on work-stealing (§7 contrasts this with SP-hybrid, which
+// is tied to Cilk's scheduler), so the detector must produce identical
+// verdicts under this executor and the pool executor.
+type goExec struct{}
+
+func (goExec) run(rt *Runtime, main *ptask) {
+	c := &Ctx{rt: rt, t: main.t, fin: main.fin}
+	main.body(c)
+}
+
+func (goExec) spawn(c *Ctx, pt *ptask) {
+	rt := c.rt
+	go rt.runTask(pt, &Ctx{rt: rt, t: pt.t, fin: pt.fin})
+}
+
+func (goExec) wait(c *Ctx, s *scope) {
+	goExec{}.waitFor(c, func() bool { return s.pending.Load() == 0 })
+}
+
+func (goExec) waitFor(c *Ctx, done func() bool) {
+	rt := c.rt
+	for {
+		if done() {
+			return
+		}
+		ep := rt.ec.PrepareWait()
+		if done() {
+			rt.ec.CancelWait()
+			return
+		}
+		rt.ec.CommitWait(ep)
+	}
+}
+
+// parkFor is identical to waitFor: with a goroutine per task there is no
+// helping and no stack nesting to avoid.
+func (e goExec) parkFor(c *Ctx, done func() bool) { e.waitFor(c, done) }

@@ -1,0 +1,203 @@
+package task
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spd3/internal/sched"
+)
+
+// poolExec is the work-stealing executor: a fixed set of workers, each
+// owning a Chase–Lev deque. Spawns push to the spawning worker's deque
+// (help-first: the parent keeps running, children wait to be popped or
+// stolen). A worker that reaches an end-finish with pending tasks does not
+// block the OS thread: it helps by popping its own deque and stealing from
+// victims until the scope drains, the standard technique for running
+// fork-join programs on a fixed thread pool.
+type poolExec struct {
+	n       int
+	workers []*worker
+	done    atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// worker is one pool worker. Its deque is owned by whatever goroutine is
+// currently executing tasks on its behalf; that is always exactly one
+// goroutine.
+type worker struct {
+	id  int
+	rt  *Runtime
+	p   *poolExec
+	dq  *sched.Deque[ptask]
+	rng uint64
+}
+
+func newPoolExec(n int) *poolExec {
+	return &poolExec{n: n}
+}
+
+func (p *poolExec) run(rt *Runtime, main *ptask) {
+	p.done.Store(false)
+	p.workers = make([]*worker, p.n)
+	for i := range p.workers {
+		p.workers[i] = &worker{
+			id:  i,
+			rt:  rt,
+			p:   p,
+			dq:  sched.NewDeque[ptask](),
+			rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+	}
+	for i := 1; i < p.n; i++ {
+		p.wg.Add(1)
+		go p.workers[i].loop()
+	}
+	w0 := p.workers[0]
+	c := &Ctx{rt: rt, w: w0, t: main.t, fin: main.fin}
+	main.body(c)
+	// main.body ends only after the implicit finish drained, so no task
+	// can exist anywhere: shut the pool down.
+	p.done.Store(true)
+	rt.ec.Signal()
+	p.wg.Wait()
+	p.workers = nil
+}
+
+func (p *poolExec) spawn(c *Ctx, pt *ptask) {
+	c.w.dq.Push(pt)
+	c.rt.ec.Signal()
+}
+
+func (p *poolExec) wait(c *Ctx, s *scope) {
+	p.waitFor(c, func() bool { return s.pending.Load() == 0 })
+}
+
+// waitFor blocks until done() holds, helping by running other tasks so
+// that a fixed worker pool cannot deadlock on structured joins or
+// barriers whose other participants sit in some deque.
+func (p *poolExec) waitFor(c *Ctx, done func() bool) {
+	w := c.w
+	rt := c.rt
+	for {
+		if done() {
+			return
+		}
+		if pt := w.find(); pt != nil {
+			w.exec(pt)
+			continue
+		}
+		ep := rt.ec.PrepareWait()
+		if done() {
+			rt.ec.CancelWait()
+			return
+		}
+		if pt := w.find(); pt != nil {
+			rt.ec.CancelWait()
+			w.exec(pt)
+			continue
+		}
+		rt.ec.CommitWait(ep)
+	}
+}
+
+// parkFor blocks without helping; see the executor interface for why
+// barrier waits must not run other tasks on this stack. The other
+// participants are picked up by idle workers stealing from this worker's
+// deque, which is why barriers on the pool executor need at least as
+// many workers as concurrently blocked tasks.
+func (p *poolExec) parkFor(c *Ctx, done func() bool) {
+	rt := c.rt
+	for {
+		if done() {
+			return
+		}
+		ep := rt.ec.PrepareWait()
+		if done() {
+			rt.ec.CancelWait()
+			return
+		}
+		rt.ec.CommitWait(ep)
+	}
+}
+
+// loop is the top-level routine of workers 1..n-1 (worker 0 is driven by
+// the Run caller). It runs until the pool is shut down.
+func (w *worker) loop() {
+	defer w.p.wg.Done()
+	for {
+		if pt := w.find(); pt != nil {
+			w.exec(pt)
+			continue
+		}
+		ep := w.rt.ec.PrepareWait()
+		if w.p.done.Load() {
+			w.rt.ec.CancelWait()
+			return
+		}
+		if pt := w.find(); pt != nil {
+			w.rt.ec.CancelWait()
+			w.exec(pt)
+			continue
+		}
+		w.rt.ec.CommitWait(ep)
+		if w.p.done.Load() {
+			return
+		}
+	}
+}
+
+func (w *worker) exec(pt *ptask) {
+	c := &Ctx{rt: w.rt, w: w, t: pt.t, fin: pt.fin}
+	w.rt.runTask(pt, c)
+}
+
+// find returns a runnable task: first from the worker's own deque, then
+// by stealing.
+func (w *worker) find() *ptask {
+	if pt := w.dq.Pop(); pt != nil {
+		return pt
+	}
+	return w.steal()
+}
+
+// steal scans the other workers' deques from a random starting victim.
+// A sweep that only lost CAS races (rather than finding everything empty)
+// is retried a bounded number of times.
+func (w *worker) steal() *ptask {
+	n := len(w.p.workers)
+	if n <= 1 {
+		return nil
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		start := int(w.nextRand() % uint64(n))
+		contended := false
+		for i := 0; i < n; i++ {
+			v := w.p.workers[(start+i)%n]
+			if v == w {
+				continue
+			}
+			pt, retry := v.dq.Steal()
+			if pt != nil {
+				return pt
+			}
+			if retry {
+				contended = true
+			}
+		}
+		if !contended {
+			return nil
+		}
+	}
+	return nil
+}
+
+// nextRand is a per-worker xorshift64* generator for victim selection;
+// deterministic seeding keeps scheduling reproducible enough for tests.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545f4914f6cdd1d
+}

@@ -1,0 +1,49 @@
+package task
+
+import "fmt"
+
+// seqExec executes every async inline, immediately and depth-first, the
+// execution model that SP-bags and ESP-bags require (§1: "the parallel
+// program must be processed in a sequential order, usually depth-first").
+// The left-to-right execution order equals the left-to-right order of DPST
+// siblings.
+type seqExec struct{}
+
+func (seqExec) run(rt *Runtime, main *ptask) {
+	c := &Ctx{rt: rt, t: main.t, fin: main.fin}
+	main.body(c)
+}
+
+func (seqExec) spawn(c *Ctx, pt *ptask) {
+	child := &Ctx{rt: c.rt, t: pt.t, fin: pt.fin}
+	c.rt.runTask(pt, child)
+}
+
+func (seqExec) wait(c *Ctx, s *scope) {
+	// Every spawned task ran to completion inline, so the scope must
+	// already be drained; anything else is a runtime bug.
+	if n := s.pending.Load(); n != 0 {
+		panic(fmt.Sprintf("task: sequential executor reached end-finish with %d pending tasks", n))
+	}
+}
+
+func (seqExec) waitFor(c *Ctx, done func() bool) {
+	// Depth-first execution cannot make progress while blocked:
+	// constructs that synchronize *between* live tasks (barriers) are
+	// incompatible with sequential execution by nature.
+	if !done() {
+		panic("task: blocking synchronization (barrier) deadlocks under the sequential executor")
+	}
+}
+
+func (e seqExec) parkFor(c *Ctx, done func() bool) { e.waitFor(c, done) }
+
+// runTask executes one spawned task body with panic capture and
+// end-of-life bookkeeping. The deferred calls run in LIFO order: capture
+// first (recovering any panic), then finishTask (TaskEnd event, scope
+// decrement, wakeup), so the scope always drains even on panic.
+func (rt *Runtime) runTask(pt *ptask, c *Ctx) {
+	defer rt.finishTask(pt)
+	defer rt.capture()
+	pt.body(c)
+}

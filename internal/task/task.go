@@ -1,0 +1,357 @@
+// Package task implements the structured (async/finish) parallel task
+// runtime that the SPD3 reproduction runs on.
+//
+// The paper targets Habanero-Java's async/finish constructs (§2): `async
+// { s }` forks a child task that runs s in parallel with the rest of the
+// parent, and `finish { s }` runs s and then blocks until every task
+// (transitively) spawned inside s whose immediately enclosing finish (IEF)
+// is this finish has completed. Go has no structured fork-join runtime, so
+// this package rebuilds one with three interchangeable executors:
+//
+//   - Pool: a fixed set of workers with Chase–Lev work-stealing deques;
+//     a worker blocked at an end-finish helps by running other tasks
+//     (this mirrors the HJ scheduler the paper evaluates on).
+//   - Goroutines: one goroutine per task, scheduled by the Go runtime;
+//     used to demonstrate that SPD3 — unlike SP-hybrid — is independent
+//     of the scheduler (§7).
+//   - Sequential: depth-first inline execution of every async; this is
+//     the execution model ESP-bags and SP-bags require (§1).
+//
+// The runtime drives a detect.Detector: it emits task/finish lifecycle
+// events at exactly the program points the paper instruments, and the
+// instrumented containers in package mem route every read and write
+// through the detector's shadow memory.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"spd3/internal/detect"
+	"spd3/internal/sched"
+)
+
+// ExecKind selects an executor implementation.
+type ExecKind uint8
+
+const (
+	// Pool is the work-stealing worker pool (the default).
+	Pool ExecKind = iota
+	// Goroutines runs one goroutine per task.
+	Goroutines
+	// Sequential executes asyncs inline, depth-first left-to-right.
+	Sequential
+)
+
+func (k ExecKind) String() string {
+	switch k {
+	case Pool:
+		return "pool"
+	case Goroutines:
+		return "goroutines"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("ExecKind(%d)", uint8(k))
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines for the Pool executor
+	// (ignored by the others). Zero means 1.
+	Workers int
+	// Executor selects the execution strategy.
+	Executor ExecKind
+	// Detector is the race detector to drive; nil means the
+	// uninstrumented baseline (detect.Nop).
+	Detector detect.Detector
+	// CaptureSites makes the instrumented containers attach the source
+	// location of every access (via runtime.Caller), so race reports
+	// carry file:line for the access that completed the race. Costs
+	// roughly a stack-walk frame per access; off by default.
+	CaptureSites bool
+}
+
+// Runtime executes async/finish programs and drives a detector.
+type Runtime struct {
+	cfg  Config
+	det  detect.Detector
+	exec executor
+	ec   *sched.EventCount
+
+	taskIDs   atomic.Int64
+	finishIDs atomic.Int64
+	lockIDs   atomic.Int64
+
+	failure atomic.Pointer[taskFailure]
+	running atomic.Bool
+}
+
+type taskFailure struct{ err error }
+
+// New validates cfg and returns a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Detector == nil {
+		cfg.Detector = detect.Nop{}
+	}
+	if cfg.Detector.RequiresSequential() && cfg.Executor != Sequential {
+		return nil, fmt.Errorf("task: detector %q requires the sequential executor (got %s)",
+			cfg.Detector.Name(), cfg.Executor)
+	}
+	rt := &Runtime{cfg: cfg, det: cfg.Detector, ec: sched.NewEventCount()}
+	switch cfg.Executor {
+	case Pool:
+		rt.exec = newPoolExec(cfg.Workers)
+	case Goroutines:
+		rt.exec = goExec{}
+	case Sequential:
+		rt.exec = seqExec{}
+	default:
+		return nil, fmt.Errorf("task: unknown executor %v", cfg.Executor)
+	}
+	return rt, nil
+}
+
+// Detector returns the detector driven by this runtime.
+func (rt *Runtime) Detector() detect.Detector { return rt.det }
+
+// Workers returns the configured worker count.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
+// CaptureSites reports whether instrumented containers should capture
+// access source locations.
+func (rt *Runtime) CaptureSites() bool { return rt.cfg.CaptureSites }
+
+// NewLock registers a new instrumented lock with the detector.
+func (rt *Runtime) NewLock() *detect.Lock {
+	return &detect.Lock{ID: rt.lockIDs.Add(1)}
+}
+
+// ErrNested is returned by Run when the runtime is already running.
+var ErrNested = errors.New("task: Run called on a running runtime")
+
+// Run executes root as the main task under the implicit top-level finish
+// and blocks until every transitively spawned task has completed. It
+// returns the first task panic (if any) as an error. A Runtime may be
+// reused for several consecutive Runs but not concurrently.
+func (rt *Runtime) Run(root func(*Ctx)) error {
+	if !rt.running.CompareAndSwap(false, true) {
+		return ErrNested
+	}
+	defer rt.running.Store(false)
+	rt.failure.Store(nil)
+
+	main := &detect.Task{ID: detect.TaskID(rt.taskIDs.Add(1) - 1)}
+	implicit := &detect.Finish{ID: rt.finishIDs.Add(1) - 1, Owner: main}
+	main.IEF = implicit
+	rt.det.MainTask(main, implicit)
+	rootScope := &scope{f: implicit}
+
+	body := func(c *Ctx) {
+		func() {
+			defer rt.capture()
+			root(c)
+		}()
+		rt.exec.wait(c, rootScope)
+		rt.det.FinishEnd(main, implicit)
+	}
+	rt.exec.run(rt, &ptask{body: body, t: main, fin: rootScope})
+
+	if f := rt.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// capture records a panicking task body as the run's failure. It must be
+// deferred around every task body so that finish counters still drain and
+// Run can unblock and report the error.
+func (rt *Runtime) capture() {
+	if p := recover(); p != nil {
+		rt.failure.CompareAndSwap(nil, &taskFailure{err: fmt.Errorf("task: panic in task body: %v", p)})
+	}
+}
+
+// scope is the runtime state of one dynamic finish instance: the count of
+// live tasks registered to it. The counter can touch zero and rise again
+// while the owner is still inside the finish body, so waiters always
+// re-check it under the eventcount protocol rather than relying on a
+// one-shot completion signal.
+type scope struct {
+	f       *detect.Finish
+	pending atomic.Int64
+}
+
+// Ctx is a task's handle to the runtime. A Ctx is only valid within the
+// dynamic extent of the task body it was passed to; do not retain it.
+type Ctx struct {
+	rt  *Runtime
+	w   *worker // executing worker; nil outside the pool executor
+	t   *detect.Task
+	fin *scope // innermost active finish scope (the task's current IEF)
+}
+
+// Task returns the runtime record of the current task.
+func (c *Ctx) Task() *detect.Task { return c.t }
+
+// WorkerID returns the executing pool worker's index in [0, Workers), or
+// -1 under the goroutine and sequential executors. Each worker is driven
+// by exactly one goroutine, so worker-indexed state needs no locking.
+func (c *Ctx) WorkerID() int {
+	if c.w == nil {
+		return -1
+	}
+	return c.w.id
+}
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Async spawns body as a new child task. The child may run before, after,
+// or in parallel with the remainder of the parent (§2); it is joined at
+// the end of the innermost enclosing finish.
+func (c *Ctx) Async(body func(*Ctx)) {
+	rt := c.rt
+	child := &detect.Task{
+		ID:     detect.TaskID(rt.taskIDs.Add(1) - 1),
+		Parent: c.t,
+		IEF:    c.fin.f,
+		Depth:  c.t.Depth + 1,
+	}
+	rt.det.BeforeSpawn(c.t, child)
+	c.fin.pending.Add(1)
+	rt.exec.spawn(c, &ptask{body: body, t: child, fin: c.fin})
+}
+
+// Finish executes body and then blocks until all tasks spawned within it
+// (transitively, whose IEF is this finish) have completed.
+func (c *Ctx) Finish(body func(*Ctx)) {
+	prev := c.beginFinish()
+	body(c)
+	c.endFinish(prev)
+}
+
+// beginFinish opens a finish scope and returns the scope to restore at
+// the matching endFinish. The non-block-structured form exists for the
+// Cilk spawn/sync layer, which must hold a finish open across calls.
+func (c *Ctx) beginFinish() *scope {
+	rt := c.rt
+	f := &detect.Finish{ID: rt.finishIDs.Add(1) - 1, Owner: c.t}
+	rt.det.FinishStart(c.t, f)
+	s := &scope{f: f}
+	prev := c.fin
+	c.fin = s
+	return prev
+}
+
+// endFinish joins the innermost finish opened by beginFinish and
+// restores the enclosing scope.
+func (c *Ctx) endFinish(prev *scope) {
+	rt := c.rt
+	s := c.fin
+	rt.exec.wait(c, s)
+	c.fin = prev
+	rt.det.FinishEnd(c.t, s.f)
+}
+
+// FinishAsync is the common `finish { for ... async }` idiom: it runs
+// body inside a fresh finish scope.
+func (c *Ctx) FinishAsync(n int, body func(c *Ctx, i int)) {
+	c.Finish(func(c *Ctx) {
+		for i := 0; i < n; i++ {
+			i := i
+			c.Async(func(c *Ctx) { body(c, i) })
+		}
+	})
+}
+
+// ParallelFor runs body(i) for lo <= i < hi inside a finish, spawning one
+// async per grain-sized block. grain <= 1 gives the paper's fine-grained
+// one-async-per-iteration loops; grain = ceil((hi-lo)/workers) gives the
+// coarse "chunked" loops used for the FastTrack/Eraser comparison (§6.3).
+func (c *Ctx) ParallelFor(lo, hi, grain int, body func(c *Ctx, i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	c.Finish(func(c *Ctx) {
+		for start := lo; start < hi; start += grain {
+			s, e := start, start+grain
+			if e > hi {
+				e = hi
+			}
+			c.Async(func(c *Ctx) {
+				for i := s; i < e; i++ {
+					body(c, i)
+				}
+			})
+		}
+	})
+}
+
+// ChunkGrain returns the grain that splits n iterations into one chunk
+// per worker, the decomposition the chunked benchmark variants use.
+func (c *Ctx) ChunkGrain(n int) int {
+	w := c.rt.cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	g := (n + w - 1) / w
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Acquire locks l's detector state; use via mem.Mutex, which pairs it
+// with a real sync.Mutex.
+func (c *Ctx) Acquire(l *detect.Lock) { c.rt.det.Acquire(c.t, l) }
+
+// Release is the counterpart of Acquire.
+func (c *Ctx) Release(l *detect.Lock) { c.rt.det.Release(c.t, l) }
+
+// ptask is a spawned-but-not-finished task: its body, runtime record, and
+// the finish scope it is registered in.
+type ptask struct {
+	body func(*Ctx)
+	t    *detect.Task
+	fin  *scope
+}
+
+// finishTask performs a task's end-of-life bookkeeping: the TaskEnd event,
+// then the scope decrement, then a wakeup for any worker blocked on the
+// scope. The detector event must precede the decrement so that FinishEnd
+// observes all TaskEnds (see the detect package contract).
+func (rt *Runtime) finishTask(pt *ptask) {
+	rt.det.TaskEnd(pt.t)
+	if pt.fin.pending.Add(-1) == 0 {
+		rt.ec.Signal()
+	}
+}
+
+// executor abstracts over the three execution strategies.
+type executor interface {
+	// run executes the main ptask to completion (including its final
+	// wait on the implicit finish scope).
+	run(rt *Runtime, main *ptask)
+	// spawn makes pt runnable. Called from the parent's goroutine.
+	spawn(c *Ctx, pt *ptask)
+	// wait blocks the calling task until s has no pending tasks.
+	wait(c *Ctx, s *scope)
+	// waitFor blocks the calling task until done() reports true,
+	// running other tasks meanwhile where the strategy allows (the
+	// pool executor "helps"; the sequential executor cannot and
+	// panics if done() is not already true). done must be monotonic:
+	// once true, it stays true. Safe for tree-shaped dependencies
+	// (joins), where helping cannot create cycles.
+	waitFor(c *Ctx, done func() bool)
+	// parkFor blocks like waitFor but never helps: required for
+	// barrier-style waits, where running another participant on the
+	// blocked task's stack would nest it beneath the waiter and
+	// deadlock the generation.
+	parkFor(c *Ctx, done func() bool)
+}

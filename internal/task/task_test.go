@@ -1,0 +1,464 @@
+package task
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"spd3/internal/detect"
+)
+
+// executors lists every executor with a worker count, so each behavioral
+// test runs under all of them.
+var executors = []struct {
+	name string
+	cfg  Config
+}{
+	{"sequential", Config{Executor: Sequential}},
+	{"goroutines", Config{Executor: Goroutines}},
+	{"pool-1", Config{Executor: Pool, Workers: 1}},
+	{"pool-4", Config{Executor: Pool, Workers: 4}},
+	{"pool-16", Config{Executor: Pool, Workers: 16}},
+}
+
+func forAllExecutors(t *testing.T, f func(t *testing.T, rt *Runtime)) {
+	t.Helper()
+	for _, e := range executors {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			rt, err := New(e.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f(t, rt)
+		})
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		if err := rt.Run(func(c *Ctx) {}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAsyncAllRun(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		var n atomic.Int64
+		err := rt.Run(func(c *Ctx) {
+			for i := 0; i < 100; i++ {
+				c.Async(func(c *Ctx) { n.Add(1) })
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Load(); got != 100 {
+			t.Fatalf("ran %d asyncs, want 100", got)
+		}
+	})
+}
+
+func TestFinishJoins(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		var inFinish, afterFinish atomic.Int64
+		err := rt.Run(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				for i := 0; i < 50; i++ {
+					c.Async(func(c *Ctx) {
+						c.Async(func(c *Ctx) { inFinish.Add(1) })
+						inFinish.Add(1)
+					})
+				}
+			})
+			// All 100 increments must be visible here: finish joins
+			// transitively spawned tasks too.
+			if got := inFinish.Load(); got != 100 {
+				t.Errorf("after finish: %d increments, want 100", got)
+			}
+			afterFinish.Add(1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if afterFinish.Load() != 1 {
+			t.Fatal("continuation after finish did not run")
+		}
+	})
+}
+
+func TestNestedFinish(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		var order []string
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		log := func(s string) {
+			<-mu
+			order = append(order, s)
+			mu <- struct{}{}
+		}
+		err := rt.Run(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				c.Finish(func(c *Ctx) {
+					c.Async(func(c *Ctx) { log("inner") })
+				})
+				log("between")
+				c.Async(func(c *Ctx) { log("outer") })
+			})
+			log("done")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 4 || order[0] != "inner" || order[1] != "between" || order[3] != "done" {
+			t.Fatalf("order = %v", order)
+		}
+	})
+}
+
+func TestAsyncAfterFinishRegistersInOuterScope(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		var done atomic.Bool
+		err := rt.Run(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				c.Finish(func(c *Ctx) {})
+				// After the inner finish, asyncs must register in
+				// the outer finish again.
+				c.Async(func(c *Ctx) { done.Store(true) })
+			})
+			if !done.Load() {
+				t.Error("outer finish did not wait for post-inner-finish async")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDeepRecursiveSpawn(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		var n atomic.Int64
+		var spawn func(c *Ctx, depth int)
+		spawn = func(c *Ctx, depth int) {
+			n.Add(1)
+			if depth == 0 {
+				return
+			}
+			c.Async(func(c *Ctx) { spawn(c, depth-1) })
+			c.Async(func(c *Ctx) { spawn(c, depth-1) })
+		}
+		err := rt.Run(func(c *Ctx) {
+			c.Finish(func(c *Ctx) { spawn(c, 10) })
+			if got, want := n.Load(), int64(1<<11-1); got != want {
+				t.Errorf("spawned %d nodes, want %d", got, want)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParallelFor(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		for _, grain := range []int{1, 7, 1000} {
+			var sum atomic.Int64
+			err := rt.Run(func(c *Ctx) {
+				c.ParallelFor(0, 100, grain, func(c *Ctx, i int) {
+					sum.Add(int64(i))
+				})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sum.Load(); got != 4950 {
+				t.Fatalf("grain %d: sum = %d, want 4950", grain, got)
+			}
+		}
+	})
+}
+
+func TestFinishAsync(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		hit := make([]atomic.Bool, 32)
+		err := rt.Run(func(c *Ctx) {
+			c.FinishAsync(32, func(c *Ctx, i int) { hit[i].Store(true) })
+			for i := range hit {
+				if !hit[i].Load() {
+					t.Errorf("iteration %d did not run", i)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		err := rt.Run(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				c.Async(func(c *Ctx) { panic("boom") })
+			})
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("err = %v, want panic error containing boom", err)
+		}
+	})
+}
+
+func TestPanicInRootPropagates(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		err := rt.Run(func(c *Ctx) { panic("root boom") })
+		if err == nil || !strings.Contains(err.Error(), "root boom") {
+			t.Fatalf("err = %v, want root boom", err)
+		}
+	})
+}
+
+func TestRunReusable(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		for round := 0; round < 3; round++ {
+			var n atomic.Int64
+			if err := rt.Run(func(c *Ctx) {
+				c.FinishAsync(10, func(c *Ctx, i int) { n.Add(1) })
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n.Load() != 10 {
+				t.Fatalf("round %d: %d asyncs ran", round, n.Load())
+			}
+		}
+	})
+}
+
+func TestNestedRunRejected(t *testing.T) {
+	rt, err := New(Config{Executor: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner error
+	if err := rt.Run(func(c *Ctx) {
+		inner = rt.Run(func(c *Ctx) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inner != ErrNested {
+		t.Fatalf("nested Run = %v, want ErrNested", inner)
+	}
+}
+
+func TestTaskIdentity(t *testing.T) {
+	forAllExecutors(t, func(t *testing.T, rt *Runtime) {
+		err := rt.Run(func(c *Ctx) {
+			main := c.Task()
+			if main.Parent != nil || main.Depth != 0 {
+				t.Errorf("main task: parent=%v depth=%d", main.Parent, main.Depth)
+			}
+			c.Finish(func(c *Ctx) {
+				c.Async(func(c *Ctx) {
+					child := c.Task()
+					if child.Parent != main {
+						t.Errorf("child parent = %v, want main", child.Parent)
+					}
+					if child.Depth != 1 {
+						t.Errorf("child depth = %d, want 1", child.Depth)
+					}
+					if child.IEF == nil || child.IEF.Owner != main {
+						t.Errorf("child IEF = %+v, want finish owned by main", child.IEF)
+					}
+				})
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// countingDetector verifies the event contract: BeforeSpawn precedes the
+// child's TaskEnd, and FinishEnd sees all TaskEnds of its scope.
+type countingDetector struct {
+	detect.Nop
+	spawns, ends atomic.Int64
+	finishEnds   atomic.Int64
+	endsAtFinish []int64
+}
+
+func (d *countingDetector) BeforeSpawn(p, c *detect.Task) { d.spawns.Add(1) }
+func (d *countingDetector) TaskEnd(t *detect.Task)        { d.ends.Add(1) }
+func (d *countingDetector) FinishEnd(t *detect.Task, f *detect.Finish) {
+	d.finishEnds.Add(1)
+	d.endsAtFinish = append(d.endsAtFinish, d.ends.Load())
+}
+
+func TestDetectorEventContract(t *testing.T) {
+	for _, e := range executors {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			det := &countingDetector{}
+			cfg := e.cfg
+			cfg.Detector = det
+			rt, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = rt.Run(func(c *Ctx) {
+				c.Finish(func(c *Ctx) {
+					for i := 0; i < 20; i++ {
+						c.Async(func(c *Ctx) {
+							c.Async(func(c *Ctx) {})
+						})
+					}
+				})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := det.spawns.Load(); d != 40 {
+				t.Errorf("spawns = %d, want 40", d)
+			}
+			if d := det.ends.Load(); d != 40 {
+				t.Errorf("ends = %d, want 40", d)
+			}
+			// Two FinishEnds: the explicit finish and the implicit one;
+			// the explicit one must have observed all 40 task ends.
+			if d := det.finishEnds.Load(); d != 2 {
+				t.Fatalf("finish ends = %d, want 2", d)
+			}
+			if det.endsAtFinish[0] != 40 {
+				t.Errorf("explicit FinishEnd saw %d TaskEnds, want 40", det.endsAtFinish[0])
+			}
+		})
+	}
+}
+
+func TestSequentialIsDepthFirst(t *testing.T) {
+	rt, err := New(Config{Executor: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	err = rt.Run(func(c *Ctx) {
+		c.Finish(func(c *Ctx) {
+			c.Async(func(c *Ctx) {
+				order = append(order, 1)
+				c.Async(func(c *Ctx) { order = append(order, 2) })
+				order = append(order, 3)
+			})
+			order = append(order, 4)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("depth-first order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestChunkGrain(t *testing.T) {
+	rt, err := New(Config{Executor: Pool, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run(func(c *Ctx) {
+		if g := c.ChunkGrain(100); g != 25 {
+			t.Errorf("ChunkGrain(100) with 4 workers = %d, want 25", g)
+		}
+		if g := c.ChunkGrain(3); g != 1 {
+			t.Errorf("ChunkGrain(3) with 4 workers = %d, want 1", g)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialDetectorPairing(t *testing.T) {
+	seqOnly := seqOnlyDetector{}
+	if _, err := New(Config{Executor: Pool, Detector: seqOnly}); err == nil {
+		t.Fatal("pairing a sequential-only detector with the pool executor must fail")
+	}
+	if _, err := New(Config{Executor: Sequential, Detector: seqOnly}); err != nil {
+		t.Fatalf("sequential pairing failed: %v", err)
+	}
+}
+
+type seqOnlyDetector struct{ detect.Nop }
+
+func (seqOnlyDetector) RequiresSequential() bool { return true }
+func (seqOnlyDetector) Name() string             { return "seq-only" }
+
+func TestRuntimeAccessors(t *testing.T) {
+	det := detect.Nop{}
+	rt, err := New(Config{Executor: Pool, Workers: 7, Detector: det, CaptureSites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Workers() != 7 {
+		t.Errorf("Workers = %d", rt.Workers())
+	}
+	if !rt.CaptureSites() {
+		t.Error("CaptureSites lost")
+	}
+	if rt.Detector() == nil {
+		t.Error("Detector lost")
+	}
+	l1, l2 := rt.NewLock(), rt.NewLock()
+	if l1.ID == l2.ID {
+		t.Error("lock IDs must be distinct")
+	}
+}
+
+func TestUnknownExecutorRejected(t *testing.T) {
+	if _, err := New(Config{Executor: ExecKind(99)}); err == nil {
+		t.Fatal("bogus executor accepted")
+	}
+	if ExecKind(99).String() == "" {
+		t.Fatal("ExecKind String must describe unknown values")
+	}
+}
+
+func TestWorkerIDRanges(t *testing.T) {
+	rt, err := New(Config{Executor: Pool, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	if err := rt.Run(func(c *Ctx) {
+		c.FinishAsync(32, func(c *Ctx, i int) {
+			id := c.WorkerID()
+			if id < 0 || id >= 3 {
+				t.Errorf("worker id %d out of range", id)
+			}
+			<-mu
+			seen[id] = true
+			mu <- struct{}{}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no worker ids observed")
+	}
+	rt2, err := New(Config{Executor: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Run(func(c *Ctx) {
+		if c.WorkerID() != -1 {
+			t.Errorf("sequential WorkerID = %d, want -1", c.WorkerID())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

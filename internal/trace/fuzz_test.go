@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/progen"
+	"spd3/internal/task"
+)
+
+// FuzzReplay feeds arbitrary bytes to the trace parser: it must reject or
+// accept them gracefully, never panic — Replay parses untrusted input.
+func FuzzReplay(f *testing.F) {
+	// Seed with real traces and near-misses.
+	for _, seed := range []int64{1, 2, 3} {
+		p := progen.Generate(seed, progen.Config{Locks: 1})
+		var buf bytes.Buffer
+		rec := NewRecorder(&buf, true)
+		rt, err := task.New(task.Config{Executor: task.Sequential, Detector: rec})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := progen.Run(rt, p, nil); err != nil {
+			f.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte("SPD3TRC1\x01\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sink := detect.NewSink(false, 0)
+		// Must not panic; errors are fine. Tight limits keep hostile
+		// region declarations from turning into large allocations.
+		lim := Limits{MaxRegionElems: 1 << 16, MaxTotalElems: 1 << 18}
+		_ = ReplayWithLimits(bytes.NewReader(data), core.New(sink, core.SyncCAS), lim)
+	})
+}

@@ -1,0 +1,411 @@
+// Package trace records the event stream of a monitored execution to a
+// compact binary format and replays it offline into any detector.
+//
+// Recording decouples the expensive part (running the parallel program)
+// from analysis: record once with the near-zero-overhead Recorder, then
+// replay the trace under SPD3, FastTrack, Eraser, or the oracle — each in
+// milliseconds, no re-execution.
+//
+// The recorded order is a legal serialization of the execution: the
+// Recorder timestamps every event under one mutex at the moment it
+// happens, so per-task program order and the runtime's cross-task
+// ordering guarantees (spawn before child events, task ends before their
+// finish's end) are preserved. Replay feeds that order single-threaded
+// into the target detector, which therefore reaches the same verdict it
+// would have reached live. ESP-bags additionally needs the recorded
+// execution itself to have been depth-first (record under the sequential
+// executor); Replay enforces this by refusing sequential-only detectors
+// unless the trace is marked sequential.
+//
+// Format: "SPD3TRC1", then events as varints — kind, then arguments.
+// Shadow regions are announced with their name and size before use.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"spd3/internal/detect"
+)
+
+const magic = "SPD3TRC1"
+
+// event kinds
+const (
+	evMainTask byte = iota + 1
+	evSpawn
+	evTaskEnd
+	evFinishStart
+	evFinishEnd
+	evAcquire
+	evRelease
+	evNewShadow
+	evRead
+	evWrite
+)
+
+// Recorder is a detect.Detector that writes the event stream to w. It
+// performs no detection itself.
+type Recorder struct {
+	sequential bool
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	buf     [2 * binary.MaxVarintLen64]byte
+	regions int64
+	err     error
+}
+
+// NewRecorder returns a recorder writing to w. Set sequential when the
+// runtime uses the depth-first executor; it widens the set of detectors
+// the trace can legally replay into.
+func NewRecorder(w io.Writer, sequential bool) *Recorder {
+	r := &Recorder{sequential: sequential, w: bufio.NewWriter(w)}
+	_, err := r.w.WriteString(magic)
+	if err == nil {
+		if sequential {
+			err = r.w.WriteByte(1)
+		} else {
+			err = r.w.WriteByte(0)
+		}
+	}
+	r.err = err
+	return r
+}
+
+// Close flushes the trace. Call after Run returns.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+func (r *Recorder) emit(kind byte, args ...int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err := r.w.WriteByte(kind); err != nil {
+		r.err = err
+		return
+	}
+	for _, a := range args {
+		n := binary.PutVarint(r.buf[:], a)
+		if _, err := r.w.Write(r.buf[:n]); err != nil {
+			r.err = err
+			return
+		}
+	}
+}
+
+func (r *Recorder) emitString(s string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	n := binary.PutUvarint(r.buf[:], uint64(len(s)))
+	if _, err := r.w.Write(r.buf[:n]); err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.WriteString(s); err != nil {
+		r.err = err
+	}
+}
+
+// Name implements detect.Detector.
+func (r *Recorder) Name() string { return "trace-recorder" }
+
+// RequiresSequential implements detect.Detector.
+func (r *Recorder) RequiresSequential() bool { return r.sequential }
+
+// MainTask implements detect.Detector.
+func (r *Recorder) MainTask(t *detect.Task, implicit *detect.Finish) {
+	r.emit(evMainTask, int64(t.ID), implicit.ID)
+}
+
+// BeforeSpawn implements detect.Detector.
+func (r *Recorder) BeforeSpawn(parent, child *detect.Task) {
+	r.emit(evSpawn, int64(parent.ID), int64(child.ID), child.IEF.ID)
+}
+
+// TaskEnd implements detect.Detector.
+func (r *Recorder) TaskEnd(t *detect.Task) { r.emit(evTaskEnd, int64(t.ID)) }
+
+// FinishStart implements detect.Detector.
+func (r *Recorder) FinishStart(t *detect.Task, f *detect.Finish) {
+	r.emit(evFinishStart, int64(t.ID), f.ID)
+}
+
+// FinishEnd implements detect.Detector.
+func (r *Recorder) FinishEnd(t *detect.Task, f *detect.Finish) {
+	r.emit(evFinishEnd, int64(t.ID), f.ID)
+}
+
+// Acquire implements detect.Detector.
+func (r *Recorder) Acquire(t *detect.Task, l *detect.Lock) {
+	r.emit(evAcquire, int64(t.ID), l.ID)
+}
+
+// Release implements detect.Detector.
+func (r *Recorder) Release(t *detect.Task, l *detect.Lock) {
+	r.emit(evRelease, int64(t.ID), l.ID)
+}
+
+// NewShadow implements detect.Detector.
+func (r *Recorder) NewShadow(name string, n, elemBytes int) detect.Shadow {
+	r.mu.Lock()
+	id := r.regions
+	r.regions++
+	r.mu.Unlock()
+	r.emit(evNewShadow, id, int64(n), int64(elemBytes))
+	r.emitString(name)
+	return &recShadow{r: r, id: id}
+}
+
+// Footprint implements detect.Detector.
+func (r *Recorder) Footprint() detect.Footprint { return detect.Footprint{} }
+
+type recShadow struct {
+	r  *Recorder
+	id int64
+}
+
+func (s *recShadow) Read(t *detect.Task, i int) {
+	s.r.emit(evRead, s.id, int64(t.ID), int64(i))
+}
+
+func (s *recShadow) Write(t *detect.Task, i int) {
+	s.r.emit(evWrite, s.id, int64(t.ID), int64(i))
+}
+
+var _ detect.Detector = (*Recorder)(nil)
+
+// Limits bounds the resources a replayed trace may make the target
+// detector allocate. A trace declares its shadow regions up front, so a
+// hostile 30-byte file could otherwise demand gigabytes of shadow words.
+type Limits struct {
+	// MaxRegionElems caps one region's element count.
+	MaxRegionElems int64
+	// MaxTotalElems caps the sum over all regions.
+	MaxTotalElems int64
+}
+
+// DefaultLimits allows regions up to 64M elements and 128M elements in
+// total — comfortably above the full-scale benchmark suite.
+func DefaultLimits() Limits {
+	return Limits{MaxRegionElems: 1 << 26, MaxTotalElems: 1 << 27}
+}
+
+// Replay feeds a recorded trace into det with DefaultLimits and returns
+// an error on a malformed trace or an illegal pairing (sequential-only
+// detector on a parallel trace).
+func Replay(rd io.Reader, det detect.Detector) error {
+	return ReplayWithLimits(rd, det, DefaultLimits())
+}
+
+// ReplayWithLimits is Replay with explicit resource bounds.
+func ReplayWithLimits(rd io.Reader, det detect.Detector, lim Limits) error {
+	br := bufio.NewReader(rd)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
+		return fmt.Errorf("trace: bad header (%v)", err)
+	}
+	seqByte, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: truncated header: %w", err)
+	}
+	if det.RequiresSequential() && seqByte != 1 {
+		return fmt.Errorf("trace: detector %q needs a depth-first trace; this one was recorded in parallel", det.Name())
+	}
+
+	st := &replayState{
+		det:      det,
+		lim:      lim,
+		tasks:    map[int64]*detect.Task{},
+		finishes: map[int64]*detect.Finish{},
+		locks:    map[int64]*detect.Lock{},
+	}
+	for {
+		kind, err := br.ReadByte()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := st.apply(br, kind); err != nil {
+			return err
+		}
+	}
+}
+
+type replayState struct {
+	det      detect.Detector
+	lim      Limits
+	tasks    map[int64]*detect.Task
+	finishes map[int64]*detect.Finish
+	locks    map[int64]*detect.Lock
+	shadows  []detect.Shadow
+	sizes    []int64
+	total    int64
+}
+
+// Fixed sanity limits independent of Limits.
+const (
+	maxElemBytes = 1 << 20
+	maxNameLen   = 1 << 16
+)
+
+func (st *replayState) apply(br *bufio.Reader, kind byte) error {
+	args := func(n int) ([]int64, error) {
+		out := make([]int64, n)
+		for i := range out {
+			v, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated event %d: %w", kind, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch kind {
+	case evMainTask:
+		a, err := args(2)
+		if err != nil {
+			return err
+		}
+		t := &detect.Task{ID: detect.TaskID(a[0])}
+		f := &detect.Finish{ID: a[1], Owner: t}
+		t.IEF = f
+		st.tasks[a[0]] = t
+		st.finishes[a[1]] = f
+		st.det.MainTask(t, f)
+	case evSpawn:
+		a, err := args(3)
+		if err != nil {
+			return err
+		}
+		parent, ok := st.tasks[a[0]]
+		if !ok {
+			return fmt.Errorf("trace: spawn from unknown task %d", a[0])
+		}
+		ief, ok := st.finishes[a[2]]
+		if !ok {
+			return fmt.Errorf("trace: spawn into unknown finish %d", a[2])
+		}
+		child := &detect.Task{ID: detect.TaskID(a[1]), Parent: parent, IEF: ief, Depth: parent.Depth + 1}
+		st.tasks[a[1]] = child
+		st.det.BeforeSpawn(parent, child)
+	case evTaskEnd:
+		a, err := args(1)
+		if err != nil {
+			return err
+		}
+		t, ok := st.tasks[a[0]]
+		if !ok {
+			return fmt.Errorf("trace: end of unknown task %d", a[0])
+		}
+		st.det.TaskEnd(t)
+	case evFinishStart:
+		a, err := args(2)
+		if err != nil {
+			return err
+		}
+		t, ok := st.tasks[a[0]]
+		if !ok {
+			return fmt.Errorf("trace: finish in unknown task %d", a[0])
+		}
+		f := &detect.Finish{ID: a[1], Owner: t}
+		st.finishes[a[1]] = f
+		st.det.FinishStart(t, f)
+	case evFinishEnd:
+		a, err := args(2)
+		if err != nil {
+			return err
+		}
+		t, f := st.tasks[a[0]], st.finishes[a[1]]
+		if t == nil || f == nil {
+			return fmt.Errorf("trace: finish-end with unknown task %d or finish %d", a[0], a[1])
+		}
+		st.det.FinishEnd(t, f)
+	case evAcquire, evRelease:
+		a, err := args(2)
+		if err != nil {
+			return err
+		}
+		t := st.tasks[a[0]]
+		if t == nil {
+			return fmt.Errorf("trace: lock op in unknown task %d", a[0])
+		}
+		l := st.locks[a[1]]
+		if l == nil {
+			l = &detect.Lock{ID: a[1]}
+			st.locks[a[1]] = l
+		}
+		if kind == evAcquire {
+			st.det.Acquire(t, l)
+		} else {
+			st.det.Release(t, l)
+		}
+	case evNewShadow:
+		a, err := args(3)
+		if err != nil {
+			return err
+		}
+		if a[1] < 0 || a[1] > st.lim.MaxRegionElems {
+			return fmt.Errorf("trace: region size %d out of range", a[1])
+		}
+		if st.total += a[1]; st.total > st.lim.MaxTotalElems {
+			return fmt.Errorf("trace: total region size exceeds limit of %d elements", st.lim.MaxTotalElems)
+		}
+		if a[2] < 0 || a[2] > maxElemBytes {
+			return fmt.Errorf("trace: element size %d out of range", a[2])
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxNameLen {
+			return fmt.Errorf("trace: bad region name length (%v)", err)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("trace: truncated region name: %w", err)
+		}
+		if int(a[0]) != len(st.shadows) {
+			return fmt.Errorf("trace: region %d out of order", a[0])
+		}
+		st.shadows = append(st.shadows, st.det.NewShadow(string(name), int(a[1]), int(a[2])))
+		st.sizes = append(st.sizes, a[1])
+	case evRead, evWrite:
+		a, err := args(3)
+		if err != nil {
+			return err
+		}
+		if a[0] < 0 || int(a[0]) >= len(st.shadows) {
+			return fmt.Errorf("trace: access to unknown region %d", a[0])
+		}
+		if a[2] < 0 || a[2] >= st.sizes[a[0]] {
+			return fmt.Errorf("trace: access index %d outside region of %d elements", a[2], st.sizes[a[0]])
+		}
+		t := st.tasks[a[1]]
+		if t == nil {
+			return fmt.Errorf("trace: access by unknown task %d", a[1])
+		}
+		if kind == evRead {
+			st.shadows[a[0]].Read(t, int(a[2]))
+		} else {
+			st.shadows[a[0]].Write(t, int(a[2]))
+		}
+	default:
+		return fmt.Errorf("trace: unknown event kind %d", kind)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/espbags"
+	"spd3/internal/fasttrack"
+	"spd3/internal/progen"
+	"spd3/internal/task"
+)
+
+// record runs p under the recorder and returns the trace bytes.
+func record(t *testing.T, p *progen.Program, exec task.ExecKind, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, exec == task.Sequential)
+	rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := progen.Run(rt, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// liveVerdict runs p directly under a fresh detector.
+func liveVerdict(t *testing.T, p *progen.Program, mk func(*detect.Sink) detect.Detector,
+	exec task.ExecKind) bool {
+	t.Helper()
+	sink := detect.NewSink(false, 0)
+	rt, err := task.New(task.Config{Executor: exec, Detector: mk(sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := progen.Run(rt, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	return !sink.Empty()
+}
+
+// replayVerdict replays the trace into a fresh detector.
+func replayVerdict(t *testing.T, data []byte, mk func(*detect.Sink) detect.Detector) bool {
+	t.Helper()
+	sink := detect.NewSink(false, 0)
+	if err := Replay(bytes.NewReader(data), mk(sink)); err != nil {
+		t.Fatal(err)
+	}
+	return !sink.Empty()
+}
+
+func mkSPD3(s *detect.Sink) detect.Detector      { return core.New(s, core.SyncCAS) }
+func mkFastTrack(s *detect.Sink) detect.Detector { return fasttrack.New(s) }
+func mkESPBags(s *detect.Sink) detect.Detector   { return espbags.New(s) }
+
+// TestReplayMatchesLiveVerdicts: recording a sequential execution and
+// replaying it into each detector yields the same verdict as running the
+// detector live.
+func TestReplayMatchesLiveVerdicts(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := progen.Generate(seed, progen.Config{})
+		data := record(t, p, task.Sequential, 1)
+		for name, mk := range map[string]func(*detect.Sink) detect.Detector{
+			"spd3":      mkSPD3,
+			"fasttrack": mkFastTrack,
+			"espbags":   mkESPBags,
+		} {
+			live := liveVerdict(t, p, mk, task.Sequential)
+			rep := replayVerdict(t, data, mk)
+			if live != rep {
+				t.Fatalf("seed %d %s: live %v, replay %v\n%s", seed, name, live, rep, p)
+			}
+		}
+	}
+}
+
+// TestReplayParallelTrace: traces recorded under the pool replay into
+// parallel-capable detectors with the same verdict.
+func TestReplayParallelTrace(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := progen.Generate(seed, progen.Config{})
+		data := record(t, p, task.Pool, 4)
+		live := liveVerdict(t, p, mkSPD3, task.Sequential)
+		rep := replayVerdict(t, data, mkSPD3)
+		if live != rep {
+			t.Fatalf("seed %d: live %v, replay %v\n%s", seed, live, rep, p)
+		}
+	}
+}
+
+// TestReplayRejectsSequentialDetectorOnParallelTrace pins the legality
+// check: ESP-bags needs a depth-first trace.
+func TestReplayRejectsSequentialDetectorOnParallelTrace(t *testing.T) {
+	p := progen.Generate(1, progen.Config{})
+	data := record(t, p, task.Pool, 4)
+	sink := detect.NewSink(false, 0)
+	err := Replay(bytes.NewReader(data), espbags.New(sink))
+	if err == nil || !strings.Contains(err.Error(), "depth-first") {
+		t.Fatalf("err = %v, want depth-first rejection", err)
+	}
+}
+
+// TestReplayWithLocks: lock events round-trip.
+func TestReplayWithLocks(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := progen.Generate(seed, progen.Config{Locks: 2})
+		data := record(t, p, task.Sequential, 1)
+		live := liveVerdict(t, p, mkFastTrack, task.Sequential)
+		rep := replayVerdict(t, data, mkFastTrack)
+		if live != rep {
+			t.Fatalf("seed %d: live %v, replay %v\n%s", seed, live, rep, p)
+		}
+	}
+}
+
+func TestReplayMalformed(t *testing.T) {
+	sink := detect.NewSink(false, 0)
+	if err := Replay(bytes.NewReader(nil), core.New(sink, core.SyncCAS)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if err := Replay(strings.NewReader("NOTATRACE"), core.New(sink, core.SyncCAS)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid header, then garbage event kind.
+	bad := append([]byte(magic), 1, 0xEE)
+	if err := Replay(bytes.NewReader(bad), core.New(sink, core.SyncCAS)); err == nil {
+		t.Fatal("garbage event accepted")
+	}
+	// Truncated mid-event.
+	p := progen.Generate(3, progen.Config{})
+	data := record(t, p, task.Sequential, 1)
+	if err := Replay(bytes.NewReader(data[:len(data)-1]), core.New(sink, core.SyncCAS)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+// TestTraceCompact sanity-checks the encoding density: a trace event
+// should cost a handful of bytes, not a struct dump.
+func TestTraceCompact(t *testing.T) {
+	p := progen.Generate(7, progen.Config{MaxStmts: 200})
+	data := record(t, p, task.Sequential, 1)
+	_, _, accesses := p.Stats()
+	if accesses == 0 {
+		t.Skip("seed produced no accesses")
+	}
+	perEvent := float64(len(data)) / float64(accesses)
+	if perEvent > 32 {
+		t.Fatalf("trace too fat: %.1f bytes per access event", perEvent)
+	}
+}

@@ -1,0 +1,130 @@
+package vc
+
+import "testing"
+
+func TestEpochPacking(t *testing.T) {
+	for _, c := range []struct {
+		tid TID
+		clk uint32
+	}{{0, 0}, {0, 1}, {5, 7}, {1 << 20, 1 << 30}, {(1 << 31) - 1, ^uint32(0)}} {
+		e := NewEpoch(c.tid, c.clk)
+		if e.TID() != c.tid || e.Clock() != c.clk {
+			t.Errorf("pack(%d,%d) -> (%d,%d)", c.tid, c.clk, e.TID(), e.Clock())
+		}
+	}
+	if Zero != NewEpoch(0, 0) {
+		t.Error("Zero must be 0@0")
+	}
+}
+
+func TestEpochLEQ(t *testing.T) {
+	c := New()
+	c.Set(3, 10)
+	if !NewEpoch(3, 10).LEQ(c) || !NewEpoch(3, 9).LEQ(c) {
+		t.Error("epoch within clock must be LEQ")
+	}
+	if NewEpoch(3, 11).LEQ(c) {
+		t.Error("epoch beyond clock must not be LEQ")
+	}
+	if NewEpoch(7, 1).LEQ(c) {
+		t.Error("epoch of unseen tid must not be LEQ")
+	}
+	if !Zero.LEQ(c) {
+		t.Error("Zero is LEQ everything")
+	}
+}
+
+func TestGetSetTick(t *testing.T) {
+	v := New()
+	if v.Get(100) != 0 {
+		t.Error("unset component must read 0")
+	}
+	v.Set(2, 5)
+	v.Tick(2)
+	v.Tick(4)
+	if v.Get(2) != 6 || v.Get(4) != 1 || v.Get(3) != 0 {
+		t.Errorf("clock = %v", v)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 3)
+	a.Set(2, 1)
+	b.Set(0, 1)
+	b.Set(1, 9)
+	a.Join(b)
+	if a.Get(0) != 3 || a.Get(1) != 9 || a.Get(2) != 1 {
+		t.Errorf("join = %v", a)
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	a := New()
+	a.Set(1, 1)
+	b := a.Copy()
+	b.Tick(1)
+	if a.Get(1) != 1 || b.Get(1) != 2 {
+		t.Errorf("copy not independent: a=%v b=%v", a, b)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	a, b := New(), New()
+	a.Set(5, 5)
+	b.Set(1, 1)
+	a.Assign(b)
+	if a.Get(5) != 0 || a.Get(1) != 1 {
+		t.Errorf("assign = %v", a)
+	}
+}
+
+func TestLEQAndAnyGT(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 1)
+	a.Set(1, 2)
+	b.Set(0, 1)
+	b.Set(1, 2)
+	b.Set(2, 1)
+	if !a.LEQ(b) || b.LEQ(a) {
+		t.Error("LEQ wrong")
+	}
+	if got := b.AnyGT(a); got != 2 {
+		t.Errorf("AnyGT = %d, want 2", got)
+	}
+	if got := a.AnyGT(b); got != -1 {
+		t.Errorf("AnyGT = %d, want -1", got)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	v := New()
+	v.Set(0, 1)
+	v.Set(2, 3)
+	if got := v.String(); got != "[1 0 3]" {
+		t.Errorf("VC String = %q", got)
+	}
+	if got := NewEpoch(2, 7).String(); got != "7@2" {
+		t.Errorf("Epoch String = %q", got)
+	}
+	if got := Zero.String(); got != "⊥" {
+		t.Errorf("Zero String = %q", got)
+	}
+	if New().Len() != 0 || v.Len() != 3 {
+		t.Error("Len wrong")
+	}
+	if v.Epoch(2) != NewEpoch(2, 3) {
+		t.Error("Epoch accessor wrong")
+	}
+}
+
+func TestBytesGrowth(t *testing.T) {
+	v := New()
+	if v.Bytes() != 0 {
+		t.Error("fresh clock must account 0 bytes")
+	}
+	v.Set(999, 1)
+	if v.Bytes() < 1000*4 {
+		t.Errorf("bytes = %d, want >= 4000", v.Bytes())
+	}
+}

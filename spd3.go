@@ -1,0 +1,276 @@
+// Package spd3 is a dynamic data-race detection library for structured
+// (async/finish) parallel programs, reproducing "Scalable and Precise
+// Dynamic Datarace Detection for Structured Parallelism" (Raman, Zhao,
+// Sarkar, Vechev, Yahav — PLDI 2012).
+//
+// The package bundles a structured task runtime (work-stealing pool,
+// goroutine-per-task, or sequential depth-first execution), instrumented
+// shared-memory containers, and four interchangeable detectors:
+//
+//   - SPD3 (the paper's contribution): runs in parallel, O(1) space per
+//     monitored location, sound and precise for a given input.
+//   - ESP-bags: O(1) space but requires sequential depth-first execution.
+//   - FastTrack: handles arbitrary fork-join and locks, but pays O(n)
+//     space and time in the number of tasks.
+//   - Eraser: the lockset heuristic; fast but imprecise.
+//
+// # Quick start
+//
+//	eng, err := spd3.New(spd3.Options{Workers: 4, Detector: spd3.SPD3})
+//	if err != nil { ... }
+//	acc := spd3.NewArray[int](eng, "acc", 1)
+//	report, err := eng.Run(func(c *spd3.Ctx) {
+//		c.FinishAsync(8, func(c *spd3.Ctx, i int) {
+//			acc.Set(c, 0, i) // every task writes acc[0]: a data race
+//		})
+//	})
+//	for _, r := range report.Races {
+//		fmt.Println(r) // write-write race on acc[0] ...
+//	}
+//
+// Because SPD3 is sound and precise for a given input, a single quiet run
+// certifies that *no* schedule of that input races — and a reported race
+// is real in some schedule, never a false alarm.
+package spd3
+
+import (
+	"fmt"
+	"time"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/eraser"
+	"spd3/internal/espbags"
+	"spd3/internal/fasttrack"
+	"spd3/internal/mem"
+	"spd3/internal/oslabel"
+	"spd3/internal/task"
+)
+
+// Ctx is the task context passed to every task body; it provides Async,
+// Finish, ParallelFor and friends.
+type Ctx = task.Ctx
+
+// Race describes one detected data race.
+type Race = detect.Race
+
+// RaceKind classifies a race (read-write, write-write, write-read).
+type RaceKind = detect.RaceKind
+
+// Race kinds.
+const (
+	ReadWrite  = detect.ReadWrite
+	WriteWrite = detect.WriteWrite
+	WriteRead  = detect.WriteRead
+)
+
+// Footprint is the detector's analytic memory accounting.
+type Footprint = detect.Footprint
+
+// Array is an instrumented one-dimensional array.
+type Array[T any] = mem.Array[T]
+
+// Matrix is an instrumented two-dimensional array.
+type Matrix[T any] = mem.Matrix[T]
+
+// Var is an instrumented shared variable.
+type Var[T any] = mem.Var[T]
+
+// Mutex is an instrumented lock (meaningful to FastTrack and Eraser).
+type Mutex = mem.Mutex
+
+// Executor selects how tasks are scheduled.
+type Executor = task.ExecKind
+
+// Executors.
+const (
+	// Pool schedules tasks on a fixed work-stealing worker pool.
+	Pool = task.Pool
+	// Goroutines runs one goroutine per task.
+	Goroutines = task.Goroutines
+	// Sequential runs asyncs inline, depth-first (required by ESPBags).
+	Sequential = task.Sequential
+)
+
+// Detector selects the race-detection algorithm.
+type Detector string
+
+// Detectors.
+const (
+	// None disables detection (the measurement baseline).
+	None Detector = "none"
+	// SPD3 is the paper's parallel, O(1)-space, precise detector.
+	SPD3 Detector = "spd3"
+	// SPD3Mutex is SPD3 with per-word mutexes instead of the versioned
+	// CAS protocol (the §5.4 ablation).
+	SPD3Mutex Detector = "spd3-mutex"
+	// ESPBags is the sequential baseline (forces Sequential executor).
+	ESPBags Detector = "espbags"
+	// FastTrack is the vector-clock baseline.
+	FastTrack Detector = "fasttrack"
+	// Eraser is the lockset baseline (imprecise).
+	Eraser Detector = "eraser"
+	// OSLabel is Offset-Span labeling (Mellor-Crummey 1991), the §7
+	// related-work baseline. Sound only for strict fork-join programs
+	// (every finish contains only asyncs and its owner neither spawns
+	// outside it nor touches shared data inside it); general
+	// async/finish programs need SPD3.
+	OSLabel Detector = "oslabel"
+)
+
+// Detectors lists every supported detector kind.
+func Detectors() []Detector {
+	return []Detector{None, SPD3, SPD3Mutex, ESPBags, FastTrack, Eraser, OSLabel}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size (Pool executor only). Zero means 1.
+	Workers int
+	// Executor selects the scheduling strategy; default Pool
+	// (Sequential when Detector is ESPBags).
+	Executor Executor
+	// Detector selects the algorithm; default SPD3.
+	Detector Detector
+	// HaltOnFirstRace reproduces the paper's halt semantics: after the
+	// first race, detectors stop checking. When false (default), races
+	// are deduplicated per location and execution continues.
+	HaltOnFirstRace bool
+	// MaxRaces caps recorded races in log mode (default 1024).
+	MaxRaces int
+	// CaptureSites attaches the file:line of the access completing a
+	// race to the report (supported by the SPD3 detectors). Costs one
+	// runtime.Caller per instrumented access; off by default.
+	CaptureSites bool
+}
+
+// Engine couples a task runtime with a detector and a race sink.
+type Engine struct {
+	rt   *task.Runtime
+	det  detect.Detector
+	sink *detect.Sink
+}
+
+// New validates opts and builds an Engine.
+func New(opts Options) (*Engine, error) {
+	if opts.Detector == "" {
+		opts.Detector = SPD3
+	}
+	sink := detect.NewSink(opts.HaltOnFirstRace, opts.MaxRaces)
+	var det detect.Detector
+	switch opts.Detector {
+	case None:
+		det = detect.Nop{}
+	case SPD3:
+		det = core.New(sink, core.SyncCAS)
+	case SPD3Mutex:
+		det = core.New(sink, core.SyncMutex)
+	case ESPBags:
+		det = espbags.New(sink)
+		opts.Executor = Sequential
+	case FastTrack:
+		det = fasttrack.New(sink)
+	case Eraser:
+		det = eraser.New(sink)
+	case OSLabel:
+		det = oslabel.New(sink)
+	default:
+		return nil, fmt.Errorf("spd3: unknown detector %q", opts.Detector)
+	}
+	rt, err := task.New(task.Config{
+		Workers:      opts.Workers,
+		Executor:     opts.Executor,
+		Detector:     det,
+		CaptureSites: opts.CaptureSites,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{rt: rt, det: det, sink: sink}, nil
+}
+
+// Report summarizes one Run.
+type Report struct {
+	// Races holds the detected races, sorted by location.
+	Races []Race
+	// Truncated is set when the race limit was hit.
+	Truncated bool
+	// Footprint is the detector's memory accounting after the run.
+	Footprint Footprint
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// RaceFree reports whether the run observed no races. For the SPD3 and
+// ESPBags detectors this certifies that no schedule of this input races.
+func (r *Report) RaceFree() bool { return len(r.Races) == 0 }
+
+// Run executes root as the main task under the implicit top-level finish
+// and returns the detection report for this run. The returned error
+// reflects task panics, not races.
+//
+// An Engine (with its instrumented containers) may be reused across
+// consecutive Runs: later runs are correctly treated as happening after
+// earlier ones, and each Report contains only the races first detected
+// during that run (duplicate reports for a location already reported in
+// an earlier run are suppressed).
+func (e *Engine) Run(root func(*Ctx)) (*Report, error) {
+	mark := e.sink.Mark()
+	start := time.Now()
+	err := e.rt.Run(root)
+	rep := &Report{
+		Races:     e.sink.RacesSince(mark),
+		Truncated: e.sink.Capped(),
+		Footprint: e.det.Footprint(),
+		Duration:  time.Since(start),
+	}
+	return rep, err
+}
+
+// NewArray allocates an instrumented array of n elements of type T.
+func NewArray[T any](e *Engine, name string, n int) *Array[T] {
+	return mem.NewArray[T](e.rt, name, n)
+}
+
+// NewMatrix allocates an instrumented rows×cols matrix.
+func NewMatrix[T any](e *Engine, name string, rows, cols int) *Matrix[T] {
+	return mem.NewMatrix[T](e.rt, name, rows, cols)
+}
+
+// NewVar allocates an instrumented shared variable.
+func NewVar[T any](e *Engine, name string, init T) *Var[T] {
+	return mem.NewVar(e.rt, name, init)
+}
+
+// NewMutex allocates an instrumented lock.
+func NewMutex(e *Engine) *Mutex { return mem.NewMutex(e.rt) }
+
+// Cilk provides Cilk-style spawn/sync parallelism as sugar over
+// async/finish (§2: async/finish generalizes spawn/sync, so every
+// detector works on Cilk programs unchanged). Use RunCilk to enter a
+// procedure.
+type Cilk = task.Cilk
+
+// RunCilk executes body as a Cilk procedure (with an implicit final
+// sync) on the current task.
+func RunCilk(c *Ctx, body func(k *Cilk)) { task.RunCilk(c, body) }
+
+// Barrier is a cyclic barrier in the style of the original JGF codes
+// (§6.3). SPD3 derives no ordering from barriers — its model is pure
+// async/finish — but FastTrack consumes their events (like RoadRunner's
+// special barrier handling) and accepts barrier-phased sharing. See
+// task.Barrier for executor requirements.
+type Barrier = task.Barrier
+
+// NewBarrier allocates a barrier for n participants.
+func NewBarrier(e *Engine, n int) *Barrier { return e.rt.NewBarrier(n) }
+
+// Accumulator is an HJ-style finish accumulator: a reduction cell that
+// parallel tasks Put into, race-free by construction.
+type Accumulator[T any] = mem.Accumulator[T]
+
+// NewAccumulator allocates an accumulator over an associative,
+// commutative combine function.
+func NewAccumulator[T any](e *Engine, combine func(a, b T) T) *Accumulator[T] {
+	return mem.NewAccumulator(e.rt, combine)
+}

@@ -1,0 +1,328 @@
+package spd3_test
+
+import (
+	"strings"
+	"testing"
+
+	"spd3"
+)
+
+func TestQuickstartRaceDetected(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Workers: 4, Detector: spd3.SPD3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := spd3.NewArray[int](eng, "acc", 1)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(8, func(c *spd3.Ctx, i int) {
+			acc.Set(c, 0, i)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("parallel writes not reported")
+	}
+	if rep.Races[0].Region != "acc" || rep.Races[0].Kind != spd3.WriteWrite {
+		t.Fatalf("unexpected race %v", rep.Races[0])
+	}
+	if !strings.Contains(rep.Races[0].String(), "write-write race on acc[0]") {
+		t.Fatalf("race string = %q", rep.Races[0].String())
+	}
+}
+
+func TestRaceFreeCertified(t *testing.T) {
+	for _, det := range []spd3.Detector{spd3.SPD3, spd3.SPD3Mutex, spd3.ESPBags, spd3.FastTrack} {
+		eng, err := spd3.New(spd3.Options{Workers: 4, Detector: det})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := spd3.NewArray[float64](eng, "a", 64)
+		rep, err := eng.Run(func(c *spd3.Ctx) {
+			c.ParallelFor(0, 64, 1, func(c *spd3.Ctx, i int) {
+				a.Set(c, i, float64(i))
+			})
+			sum := 0.0
+			for i := 0; i < 64; i++ {
+				sum += a.Get(c, i)
+			}
+			a.Set(c, 0, sum)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.RaceFree() {
+			t.Fatalf("%s: false positives: %v", det, rep.Races)
+		}
+		if rep.Duration <= 0 {
+			t.Errorf("%s: missing duration", det)
+		}
+	}
+}
+
+func TestMatrixAndVar(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spd3.NewMatrix[int](eng, "m", 4, 4)
+	v := spd3.NewVar(eng, "v", 7)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(4, func(c *spd3.Ctx, i int) {
+			for j := 0; j < 4; j++ {
+				m.Set(c, i, j, i*4+j)
+			}
+		})
+		total := 0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				total += m.Get(c, i, j)
+			}
+		}
+		v.Set(c, total+v.Get(c))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RaceFree() {
+		t.Fatalf("races: %v", rep.Races)
+	}
+}
+
+func TestMutexSatisfiesFastTrack(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Workers: 4, Detector: spd3.FastTrack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := spd3.NewVar(eng, "v", 0)
+	mu := spd3.NewMutex(eng)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(8, func(c *spd3.Ctx, i int) {
+			mu.Lock(c)
+			v.Set(c, v.Get(c)+1)
+			mu.Unlock(c)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RaceFree() {
+		t.Fatalf("locked counter flagged: %v", rep.Races)
+	}
+}
+
+func TestHaltOnFirstRace(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Detector: spd3.SPD3, HaltOnFirstRace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spd3.NewArray[int](eng, "a", 16)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			for i := 0; i < 16; i++ {
+				i := i
+				c.Async(func(c *spd3.Ctx) { a.Set(c, i, 1) })
+				c.Async(func(c *spd3.Ctx) { a.Set(c, i, 2) })
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) != 1 {
+		t.Fatalf("halt mode recorded %d races, want 1", len(rep.Races))
+	}
+}
+
+func TestESPBagsForcedSequential(t *testing.T) {
+	// Pairing ESPBags with the pool executor must be corrected
+	// automatically rather than rejected: the facade switches to
+	// sequential execution.
+	eng, err := spd3.New(spd3.Options{Workers: 8, Executor: spd3.Pool, Detector: spd3.ESPBags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spd3.NewArray[int](eng, "a", 2)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, i int) { a.Set(c, 0, i) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("ESP-bags missed the write-write race")
+	}
+}
+
+func TestBarrierFacade(t *testing.T) {
+	// FastTrack certifies barrier-phased sharing; SPD3 reports it (its
+	// model is async/finish only) — the §6.3 behaviour through the
+	// public API.
+	verdict := func(det spd3.Detector) bool {
+		eng, err := spd3.New(spd3.Options{Workers: 4, Detector: det})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots := spd3.NewArray[int](eng, "slots", 4)
+		bar := spd3.NewBarrier(eng, 4)
+		rep, err := eng.Run(func(c *spd3.Ctx) {
+			c.FinishAsync(4, func(c *spd3.Ctx, id int) {
+				for p := 0; p < 3; p++ {
+					slots.Set(c, id, p)
+					bar.Await(c)
+					total := 0
+					for o := 0; o < 4; o++ {
+						total += slots.Get(c, o)
+					}
+					bar.Await(c)
+					_ = total
+				}
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.RaceFree()
+	}
+	if !verdict(spd3.FastTrack) {
+		t.Error("FastTrack did not credit barrier ordering")
+	}
+	if verdict(spd3.SPD3) {
+		t.Error("SPD3 credited barrier ordering it cannot model")
+	}
+}
+
+func TestOSLabelFacade(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Workers: 2, Detector: spd3.OSLabel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spd3.NewArray[int](eng, "a", 4)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			c.Async(func(c *spd3.Ctx) { a.Set(c, 0, 1) })
+			c.Async(func(c *spd3.Ctx) { a.Set(c, 0, 2) })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("oslabel missed a strict fork-join race")
+	}
+}
+
+func TestCaptureSites(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Detector: spd3.SPD3, Executor: spd3.Sequential,
+		CaptureSites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spd3.NewArray[int](eng, "a", 1)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, i int) {
+			a.Set(c, 0, i) // the race completes here
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("race not reported")
+	}
+	if !strings.Contains(rep.Races[0].CurStep, "spd3_test.go:") {
+		t.Fatalf("race lacks source site: %v", rep.Races[0])
+	}
+}
+
+func TestUnknownDetectorRejected(t *testing.T) {
+	if _, err := spd3.New(spd3.Options{Detector: "quantum"}); err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+}
+
+func TestDetectorsList(t *testing.T) {
+	ds := spd3.Detectors()
+	if len(ds) != 7 {
+		t.Fatalf("Detectors() = %v", ds)
+	}
+	for _, d := range ds {
+		if d == spd3.ESPBags {
+			return
+		}
+	}
+	t.Fatal("ESPBags missing from Detectors()")
+}
+
+func TestFootprintReported(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Detector: spd3.SPD3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd3.NewArray[int](eng, "a", 1000)
+	rep, err := eng.Run(func(c *spd3.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Footprint.ShadowBytes == 0 {
+		t.Fatal("footprint not reported")
+	}
+	if rep.Footprint.Total() < rep.Footprint.ShadowBytes {
+		t.Fatal("Total below ShadowBytes")
+	}
+}
+
+func TestEngineReusable(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spd3.NewArray[int](eng, "a", 8)
+	for round := 0; round < 3; round++ {
+		rep, err := eng.Run(func(c *spd3.Ctx) {
+			c.FinishAsync(8, func(c *spd3.Ctx, i int) { a.Update(c, i, func(v int) int { return v + 1 }) })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.RaceFree() {
+			t.Fatalf("round %d: %v", round, rep.Races)
+		}
+	}
+	for i, v := range a.Raw() {
+		if v != 3 {
+			t.Fatalf("a[%d] = %d, want 3", i, v)
+		}
+	}
+}
+
+func TestSequentialExecutorOption(t *testing.T) {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential, Detector: spd3.SPD3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := spd3.NewArray[int](eng, "order", 4)
+	// pos is deliberately uninstrumented plain state: safe only because
+	// the sequential executor runs asyncs inline, which is exactly what
+	// this test asserts.
+	pos := 0
+	if _, err := eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			for i := 0; i < 4; i++ {
+				i := i
+				c.Async(func(c *spd3.Ctx) {
+					order.Set(c, pos, i)
+					pos++
+				})
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order.Raw() {
+		if v != i {
+			t.Fatalf("sequential executor ran out of order: %v", order.Raw())
+		}
+	}
+}
