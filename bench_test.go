@@ -165,6 +165,24 @@ func BenchmarkAblationStepCache(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationDMHP regenerates the DMHP fast-path comparison on the
+// two monitoring-heavy kernels the ablation experiment highlights:
+// pointer-walk SPD3 vs packed fingerprints vs fingerprints plus the
+// per-task relation memo.
+func BenchmarkAblationDMHP(b *testing.B) {
+	for _, name := range []string{"SOR", "LUFact"} {
+		bm, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tool := range []harness.Tool{harness.SPD3Walk, harness.SPD3FP, harness.SPD3} {
+			b.Run(name+"/"+string(tool), func(b *testing.B) {
+				cell(b, bm, tool, 4, false)
+			})
+		}
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -8,7 +8,7 @@
 //	experiments -list
 //
 // Experiment IDs: table1, fig3, fig4, table2, table3, fig5, fig6,
-// ablation-sync.
+// ablation-sync, ablation-stepcache, ablation-dmhp.
 package main
 
 import (

@@ -71,15 +71,17 @@ func runLUFact(rt *task.Runtime, in Input) (float64, error) {
 			// Multipliers, then the parallel trailing update.
 			pivot := a.Get(c, k, k)
 			for i := k + 1; i < n; i++ {
-				a.Set(c, i, k, a.Get(c, i, k)/pivot)
+				a.Update(c, i, k, func(v float64) float64 { return v / pivot })
 			}
 			k := k
 			c.ParallelFor(k+1, n, in.grain(c, n-k-1), func(c *task.Ctx, i int) {
 				m := a.Get(c, i, k)
 				for j := k + 1; j < n; j++ {
-					a.Set(c, i, j, a.Get(c, i, j)-m*a.Get(c, k, j))
+					akj := a.Get(c, k, j)
+					a.Update(c, i, j, func(v float64) float64 { return v - m*akj })
 				}
-				b.Set(c, i, b.Get(c, i)-m*b.Get(c, k))
+				mbk := m * b.Get(c, k)
+				b.Update(c, i, func(v float64) float64 { return v - mbk })
 			})
 		}
 		// Back substitution (sequential, as in DGESL).

@@ -43,10 +43,11 @@ func runSOR(rt *task.Runtime, in Input) (float64, error) {
 				c.ParallelFor(1, n-1, in.grain(c, n-2), func(c *task.Ctx, i int) {
 					j0 := 1 + (i+color)%2
 					for j := j0; j < n-1; j += 2 {
-						v := omega/4*(g.Get(c, i-1, j)+g.Get(c, i+1, j)+
-							g.Get(c, i, j-1)+g.Get(c, i, j+1)) +
-							(1-omega)*g.Get(c, i, j)
-						g.Set(c, i, j, v)
+						stencil := omega / 4 * (g.Get(c, i-1, j) + g.Get(c, i+1, j) +
+							g.Get(c, i, j-1) + g.Get(c, i, j+1))
+						g.Update(c, i, j, func(v float64) float64 {
+							return stencil + (1-omega)*v
+						})
 					}
 				})
 			}

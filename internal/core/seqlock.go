@@ -86,7 +86,7 @@ func (s *casShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 	c := &s.cells[i]
 	for {
 		x, m := c.snapshot()
-		m, changed := s.d.readCheck(m, ts.step, s.name, i, site)
+		m, changed := s.d.readCheck(m, ts, s.name, i, site)
 		if !changed || c.publish(x, m) {
 			break
 		}
@@ -110,7 +110,7 @@ func (s *casShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 	c := &s.cells[i]
 	for {
 		x, m := c.snapshot()
-		m, changed := s.d.writeCheck(m, ts.step, s.name, i, site)
+		m, changed := s.d.writeCheck(m, ts, s.name, i, site)
 		if !changed || c.publish(x, m) {
 			break
 		}

@@ -68,6 +68,14 @@ type Options struct {
 	// — measure with the ablation-stepcache experiment; off by
 	// default.
 	StepCache bool
+	// NoFingerprint forces every DMHP/LCA query through the §5.2
+	// pointer walk, disabling the packed-fingerprint fast path. On by
+	// default (i.e. fingerprints are used); disable only for the
+	// ablation-dmhp experiment and differential tests.
+	NoFingerprint bool
+	// NoDMHPMemo disables the per-task DMHP relation cache (see
+	// taskState.mhp). On by default; disable for ablation.
+	NoDMHPMemo bool
 }
 
 // Detector is the SPD3 race detector. Create with New; wire into a
@@ -77,6 +85,8 @@ type Detector struct {
 	tree      *dpst.Tree
 	mode      SyncMode
 	stepCache bool
+	walkOnly  bool // Options.NoFingerprint
+	memo      bool // !Options.NoDMHPMemo
 
 	shadowIDs   detect.Counter
 	shadowBytes detect.Counter
@@ -90,7 +100,14 @@ func New(sink *detect.Sink, mode SyncMode) *Detector {
 
 // NewWith returns an SPD3 detector with explicit options.
 func NewWith(sink *detect.Sink, o Options) *Detector {
-	return &Detector{sink: sink, tree: dpst.New(), mode: o.Sync, stepCache: o.StepCache}
+	return &Detector{
+		sink:      sink,
+		tree:      dpst.New(),
+		mode:      o.Sync,
+		stepCache: o.StepCache,
+		walkOnly:  o.NoFingerprint,
+		memo:      !o.NoDMHPMemo,
+	}
 }
 
 // Tree exposes the DPST (for tests and tooling).
@@ -125,10 +142,12 @@ func (d *Detector) RequiresSequential() bool { return false }
 // recorded steps either way. Entries are tagged with the step node, so
 // advancing to a new step invalidates them for free. The cache is owned
 // by the task, needing no synchronization.
+// mhp additionally memoizes DMHP relations: see Detector.relation.
 type taskState struct {
 	step  *dpst.Node
 	scope *dpst.Node
 	cache [stepCacheSize]cacheEntry
+	mhp   [mhpMemoSize]mhpEntry
 }
 
 const stepCacheSize = 32 // power of two
@@ -161,6 +180,60 @@ func (ts *taskState) remember(region uint64, idx int, write bool) {
 func cacheSlot(region uint64, idx int) uint64 {
 	h := (region<<32 ^ uint64(uint32(idx))) * 0x9e3779b97f4a7c15
 	return h >> 59 // top 5 bits: stepCacheSize == 32
+}
+
+// mhpEntry is one slot of the per-task DMHP memo: the answer to
+// Relation(other, step), tagged with both operands.
+type mhpEntry struct {
+	other    *dpst.Node
+	step     *dpst.Node
+	parallel bool
+	lcaDepth int32
+}
+
+// mhpMemoSize is kept small (16 × 24 bytes) because taskState is
+// allocated per task and fine-grained programs spawn one task per loop
+// iteration; a step checks against only a handful of distinct recorded
+// steps (the writers/readers of the rows it touches), so a small
+// direct-mapped memo already captures the reuse.
+const mhpMemoSize = 16 // power of two
+
+func mhpSlot(n *dpst.Node) uint64 {
+	return uint64(n.ID) * 0x9e3779b97f4a7c15 >> 60 // top 4 bits: mhpMemoSize == 16
+}
+
+// relation answers Relation(other, ts.step) through the per-task
+// direct-mapped memo (unless disabled). Memoization is sound because
+// every DPST node field the query reads is immutable after creation, so
+// the relation of a fixed node pair can never change; and it is
+// effective because recorded writer/reader steps recur across thousands
+// of adjacent shadow words (one writer step covers a whole matrix row
+// in SOR or LUFact). The memo lives in task-owned state, so no
+// synchronization is needed, and entries are tagged with ts.step: a
+// step advance invalidates them for free.
+func (d *Detector) relation(ts *taskState, other *dpst.Node) (parallel bool, lcaDepth int32) {
+	if other == nil || other == ts.step {
+		return false, -1
+	}
+	if !d.memo {
+		return d.rel(other, ts.step)
+	}
+	e := &ts.mhp[mhpSlot(other)]
+	if e.other == other && e.step == ts.step {
+		return e.parallel, e.lcaDepth
+	}
+	p, l := d.rel(other, ts.step)
+	*e = mhpEntry{other: other, step: ts.step, parallel: p, lcaDepth: l}
+	return p, l
+}
+
+// rel dispatches one Relation query to the fingerprint fast path or,
+// under the walk-only ablation, the §5.2 pointer walk.
+func (d *Detector) rel(a, b *dpst.Node) (parallel bool, lcaDepth int32) {
+	if d.walkOnly {
+		return dpst.RelationWalk(a, b)
+	}
+	return dpst.Relation(a, b)
 }
 
 // finishState remembers the finish's DPST node and the scope to restore
@@ -277,22 +350,24 @@ func (d *Detector) report(kind detect.RaceKind, region string, i int, prev, cur 
 	})
 }
 
-// writeCheck is Algorithm 1. Given a snapshot and the writing step s, it
-// reports any races and returns the updated word and whether the word
-// changed.
-func (d *Detector) writeCheck(m word, s *dpst.Node, region string, i int, site uintptr) (word, bool) {
+// writeCheck is Algorithm 1. Given a snapshot and the writing task's
+// state ts, it reports any races and returns the updated word and
+// whether the word changed. All DMHP queries go through the memoized
+// fingerprint fast path (Detector.relation).
+func (d *Detector) writeCheck(m word, ts *taskState, region string, i int, site uintptr) (word, bool) {
+	s := ts.step
 	if m.w == s {
 		// Same step rewrote the element; nothing can have changed
 		// (a second write by the very step that already owns w).
 		return m, false
 	}
-	if dpst.DMHP(m.r1, s) {
+	if p, _ := d.relation(ts, m.r1); p {
 		d.report(detect.ReadWrite, region, i, m.r1, s, site)
 	}
-	if dpst.DMHP(m.r2, s) {
+	if p, _ := d.relation(ts, m.r2); p {
 		d.report(detect.ReadWrite, region, i, m.r2, s, site)
 	}
-	if dpst.DMHP(m.w, s) {
+	if p, _ := d.relation(ts, m.w); p {
 		d.report(detect.WriteWrite, region, i, m.w, s, site)
 		return m, false
 	}
@@ -300,39 +375,21 @@ func (d *Detector) writeCheck(m word, s *dpst.Node, region string, i int, site u
 	return m, true
 }
 
-// relate computes DMHP(a, s) and the LCA of a and s in one tree walk,
-// implementing the §5.2 observation that the DMHP outcome falls out of
-// the same traversal that finds the LCA. a may be nil (no recorded
-// access): not parallel.
-func relate(a, s *dpst.Node) (parallel bool, lca *dpst.Node) {
-	if a == nil || a == s {
-		return false, nil
-	}
-	l, ca, cs := dpst.Relate(a, s)
-	if ca == nil || cs == nil {
-		return false, l
-	}
-	left := ca
-	if cs.Seq < ca.Seq {
-		left = cs
-	}
-	return left.Kind == dpst.AsyncNode, l
-}
-
 // readCheck is Algorithm 2 with the null-reader cases made explicit.
-// Given a snapshot and the reading step s, it reports any races and
-// returns the updated word and whether the word changed.
-func (d *Detector) readCheck(m word, s *dpst.Node, region string, i int, site uintptr) (word, bool) {
+// Given a snapshot and the reading task's state ts, it reports any
+// races and returns the updated word and whether the word changed.
+func (d *Detector) readCheck(m word, ts *taskState, region string, i int, site uintptr) (word, bool) {
+	s := ts.step
 	if m.r1 == s || m.r2 == s {
 		// This step is already recorded; re-reading changes nothing.
 		// (One of the paper's redundant-check eliminations, §5.5.)
 		return m, false
 	}
-	if dpst.DMHP(m.w, s) {
+	if p, _ := d.relation(ts, m.w); p {
 		d.report(detect.WriteRead, region, i, m.w, s, site)
 	}
-	p1, lca1s := relate(m.r1, s)
-	p2, _ := relate(m.r2, s)
+	p1, lca1s := d.relation(ts, m.r1)
+	p2, _ := d.relation(ts, m.r2)
 	switch {
 	case !p1 && !p2:
 		// s is ordered after every recorded reader (and, by the
@@ -351,10 +408,10 @@ func (d *Detector) readCheck(m word, s *dpst.Node, region string, i int, site ui
 		// LCA(r1,s) is a proper ancestor of LCA(r1,r2); both are on
 		// r1's root path, so comparing depths suffices. In that case
 		// LCA(r1,s) = LCA(r2,s) and replacing r1 with s lifts the
-		// subtree to cover all three. lca1s was already computed by
-		// the DMHP(r1,s) walk above.
-		lca12 := dpst.LCA(m.r1, m.r2)
-		if lca1s.Depth < lca12.Depth {
+		// subtree to cover all three. lca1s is the LCA depth the
+		// DMHP(r1,s) relation above already computed.
+		_, lca12 := d.rel(m.r1, m.r2)
+		if lca1s < lca12 {
 			m.r1 = s
 			return m, true
 		}
@@ -399,14 +456,16 @@ func (s *mutexShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 		if ts.cached(s.id, i, false) {
 			return
 		}
-		defer ts.remember(s.id, i, false)
 	}
 	c := &s.cells[i]
 	c.mu.Lock()
-	if m, changed := s.d.readCheck(c.m, ts.step, s.name, i, site); changed {
+	if m, changed := s.d.readCheck(c.m, ts, s.name, i, site); changed {
 		c.m = m
 	}
 	c.mu.Unlock()
+	if s.d.stepCache {
+		ts.remember(s.id, i, false)
+	}
 }
 
 // WriteAt implements detect.SiteShadow.
@@ -419,14 +478,16 @@ func (s *mutexShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 		if ts.cached(s.id, i, true) {
 			return
 		}
-		defer ts.remember(s.id, i, true)
 	}
 	c := &s.cells[i]
 	c.mu.Lock()
-	if m, changed := s.d.writeCheck(c.m, ts.step, s.name, i, site); changed {
+	if m, changed := s.d.writeCheck(c.m, ts, s.name, i, site); changed {
 		c.m = m
 	}
 	c.mu.Unlock()
+	if s.d.stepCache {
+		ts.remember(s.id, i, true)
+	}
 }
 
 func (s *mutexShadow) String() string { return fmt.Sprintf("spd3-mutex shadow %q", s.name) }

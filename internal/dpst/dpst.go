@@ -64,17 +64,29 @@ type Node struct {
 	Depth  int32
 	Seq    int32 // position among siblings, from 1, left to right
 	Kind   Kind
-	ID     int64 // unique per tree, in creation order; for reports
 
 	// nchildren counts this node's children so far. Only the task that
 	// owns this scope appends children, so plain (non-atomic) access is
-	// safe; see the package comment.
+	// safe; see the package comment. (Placed here to share Kind's
+	// padding hole; see NodeBytes.)
 	nchildren int32
+
+	ID int64 // unique per tree, in creation order; for reports
+
+	// fp is the packed root-path fingerprint enabling near-O(1)
+	// DMHP/LCA-depth queries (see fingerprint.go). Immutable after
+	// creation, like every other field.
+	fp fingerprint
 }
 
-// NodeBytes is the approximate heap size of one Node, used for the
-// analytic footprint accounting that reproduces the paper's Table 3.
-const NodeBytes = 8 + 4 + 4 + 1 + 8 + 4 + 3 // fields + padding ≈ 32
+// NodeBytes is the heap size of one Node, used for the analytic
+// footprint accounting that reproduces the paper's Table 3: the
+// original fields (32 bytes with padding — nchildren sits in Kind's
+// padding hole) plus the 40-byte inline fingerprint (two packed words
+// and the spill slice header; invalidity is a w0 sentinel, not a
+// flag). Spill backing arrays, allocated only past depth 8, are
+// accounted separately by Tree.Bytes.
+const NodeBytes = 32 + 16 + 24 // fields ≈ 32 + w0/w1 + spill slice header
 
 // String renders a node as e.g. "step#17" for race reports.
 func (n *Node) String() string {
@@ -87,9 +99,10 @@ func (n *Node) String() string {
 // Tree is a DPST under construction. The zero value is not usable; call
 // New.
 type Tree struct {
-	root  *Node
-	ids   atomic.Int64
-	count atomic.Int64
+	root       *Node
+	ids        atomic.Int64
+	count      atomic.Int64
+	spillWords atomic.Int64 // fingerprint spill words, for Bytes
 }
 
 // New creates a tree containing only the root finish node, which
@@ -108,8 +121,9 @@ func (t *Tree) Root() *Node { return t.root }
 // Len returns the number of nodes created so far.
 func (t *Tree) Len() int64 { return t.count.Load() }
 
-// Bytes returns the analytic size of the tree in bytes.
-func (t *Tree) Bytes() int64 { return t.count.Load() * NodeBytes }
+// Bytes returns the analytic size of the tree in bytes, including the
+// fingerprint spill words of nodes deeper than the inline threshold.
+func (t *Tree) Bytes() int64 { return t.count.Load()*NodeBytes + t.spillWords.Load()*8 }
 
 // NewChild appends a new rightmost child of parent and returns it.
 // It takes O(1) time and, per the ownership discipline described in the
@@ -123,14 +137,19 @@ func (t *Tree) NewChild(parent *Node, kind Kind) *Node {
 		Seq:    parent.nchildren,
 		Kind:   kind,
 		ID:     t.ids.Add(1) - 1,
+		fp:     parent.fp.extend(parent.Depth+1, parent.nchildren, kind),
 	}
 	t.count.Add(1)
+	if w := n.fp.spillWords(); w > 0 {
+		t.spillWords.Add(w)
+	}
 	return n
 }
 
-// LCA returns the least common ancestor of a and b (§5.2): walk the deeper
-// node up to the shallower node's depth, then walk both up in lock step
-// until they meet. Cost is linear in the longer of the two root paths.
+// LCA returns the least common ancestor of a and b (§5.2). With valid
+// fingerprints the LCA depth comes from the packed-word comparison and
+// only the parent hops up to that depth remain; otherwise the full
+// lock-step walk runs.
 func LCA(a, b *Node) *Node {
 	lca, _, _ := Relate(a, b)
 	return lca
@@ -142,6 +161,29 @@ func LCA(a, b *Node) *Node {
 // is an ancestor of the other (possible only when a non-leaf is passed),
 // the corresponding child is nil. Relate(a, a) returns (a, nil, nil).
 func Relate(a, b *Node) (lca, childA, childB *Node) {
+	if a == nil || b == nil {
+		return nil, nil, nil
+	}
+	if a.fp.valid() && b.fp.valid() {
+		d, _, _ := fpRelate(a, b)
+		for a.Depth > d {
+			childA, a = a, a.Parent
+		}
+		for b.Depth > d {
+			childB, b = b, b.Parent
+		}
+		return a, childA, childB
+	}
+	return relateWalk(a, b)
+}
+
+// relateWalk is the §5.2 reference implementation of Relate: walk the
+// deeper node up to the shallower node's depth, then walk both up in
+// lock step until they meet. Cost is linear in the longer root path. It
+// is the always-correct fallback for nodes whose fingerprints
+// overflowed, and the oracle the fingerprint path is differentially
+// tested against.
+func relateWalk(a, b *Node) (lca, childA, childB *Node) {
 	if a == nil || b == nil {
 		return nil, nil, nil
 	}
@@ -162,7 +204,14 @@ func Relate(a, b *Node) (lca, childA, childB *Node) {
 // of the tree (Definition 3). Both must be distinct nodes of the same
 // tree, neither an ancestor of the other.
 func LeftOf(a, b *Node) bool {
-	_, ca, cb := Relate(a, b)
+	if a == nil || b == nil || a == b {
+		return false
+	}
+	if a.fp.valid() && b.fp.valid() {
+		_, da, db := fpRelate(a, b)
+		return da != 0 && db != 0 && digitSeq(da) < digitSeq(db)
+	}
+	_, ca, cb := relateWalk(a, b)
 	return ca != nil && cb != nil && ca.Seq < cb.Seq
 }
 
@@ -175,7 +224,20 @@ func DMHP(s1, s2 *Node) bool {
 	if s1 == nil || s2 == nil || s1 == s2 {
 		return false
 	}
-	_, c1, c2 := Relate(s1, s2)
+	if s1.fp.valid() && s2.fp.valid() {
+		_, d1, d2 := fpRelate(s1, s2)
+		return digitsParallel(d1, d2)
+	}
+	return dmhpWalk(s1, s2)
+}
+
+// dmhpWalk is Algorithm 3 over the pointer walk; the fallback and
+// differential reference for DMHP.
+func dmhpWalk(s1, s2 *Node) bool {
+	if s1 == nil || s2 == nil || s1 == s2 {
+		return false
+	}
+	_, c1, c2 := relateWalk(s1, s2)
 	if c1 == nil || c2 == nil {
 		// One is an ancestor of the other; cannot happen for two
 		// distinct leaves, but be defensive for interior nodes.
@@ -185,4 +247,46 @@ func DMHP(s1, s2 *Node) bool {
 		return c1.Kind == AsyncNode
 	}
 	return c2.Kind == AsyncNode
+}
+
+// Relation answers, in one query, everything the detector's read and
+// write checks need about a pair of nodes: whether they may happen in
+// parallel (Theorem 1) and the depth of their LCA. With valid
+// fingerprints neither answer touches the tree — this is the detector's
+// near-O(1) hot path. Relation(a, a) is (false, a.Depth); a nil operand
+// yields (false, -1).
+func Relation(a, b *Node) (parallel bool, lcaDepth int32) {
+	if a == nil || b == nil {
+		return false, -1
+	}
+	if a == b {
+		return false, a.Depth
+	}
+	if a.fp.valid() && b.fp.valid() {
+		d, da, db := fpRelate(a, b)
+		return digitsParallel(da, db), d
+	}
+	return RelationWalk(a, b)
+}
+
+// RelationWalk answers Relation via the §5.2 pointer walk regardless of
+// fingerprint validity; exported so the detector's walk-only ablation
+// and the differential tests can pin the two implementations against
+// each other.
+func RelationWalk(a, b *Node) (parallel bool, lcaDepth int32) {
+	if a == nil || b == nil {
+		return false, -1
+	}
+	if a == b {
+		return false, a.Depth
+	}
+	lca, ca, cb := relateWalk(a, b)
+	if ca == nil || cb == nil {
+		return false, lca.Depth
+	}
+	left := ca
+	if cb.Seq < ca.Seq {
+		left = cb
+	}
+	return left.Kind == AsyncNode, lca.Depth
 }

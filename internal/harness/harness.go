@@ -73,9 +73,11 @@ type Tool string
 // Tools.
 const (
 	Base      Tool = "base"
-	SPD3      Tool = "spd3"
+	SPD3      Tool = "spd3" // fingerprint fast path + per-task DMHP memo (the default)
 	SPD3Lock  Tool = "spd3-mutex"
 	SPD3Cache Tool = "spd3-stepcache"
+	SPD3Walk  Tool = "spd3-walk" // DMHP via the §5.2 pointer walk only (ablation)
+	SPD3FP    Tool = "spd3-fp"   // fingerprints on, per-task memo off (ablation)
 	ESPBags   Tool = "espbags"
 	FastTrack Tool = "fasttrack"
 	Eraser    Tool = "eraser"
@@ -92,6 +94,10 @@ func NewDetector(tool Tool) detect.Detector {
 		return core.New(sink, core.SyncMutex)
 	case SPD3Cache:
 		return core.NewWith(sink, core.Options{Sync: core.SyncCAS, StepCache: true})
+	case SPD3Walk:
+		return core.NewWith(sink, core.Options{Sync: core.SyncCAS, NoFingerprint: true, NoDMHPMemo: true})
+	case SPD3FP:
+		return core.NewWith(sink, core.Options{Sync: core.SyncCAS, NoDMHPMemo: true})
 	case ESPBags:
 		return espbags.New(sink)
 	case FastTrack:
@@ -185,6 +191,7 @@ func Experiments() []Experiment {
 		{ID: "fig6", Title: "Figure 6: LUFact memory vs workers, all tools", Run: fig6},
 		{ID: "ablation-sync", Title: "§5.4 ablation: versioned-CAS vs per-word mutex", Run: ablationSync},
 		{ID: "ablation-stepcache", Title: "§5.5 ablation: per-step redundant-check cache", Run: ablationStepCache},
+		{ID: "ablation-dmhp", Title: "DMHP fast-path ablation: pointer walk vs fingerprints vs fingerprints+memo", Run: ablationDMHP},
 	}
 }
 
@@ -486,6 +493,47 @@ func ablationStepCache(cfg Config) (*Table, error) {
 		t.AddRow(b.Name, r)
 	}
 	t.AddRow("GeoMean", geoMean(rs))
+	return t, nil
+}
+
+// ablationDMHP isolates the two layers of the constant-time DMHP fast
+// path: SPD3 with the §5.2 pointer walk only, with the packed path
+// fingerprints, and with fingerprints plus the per-task relation memo
+// (the default). Unchunked variants at the maximum worker count — the
+// fine-grained regime where DMHP dominates the per-access cost.
+// Ratios below 1 mean the layer wins over the plain walk.
+func ablationDMHP(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.maxThreads()
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: DMHP fast path at %d workers, time relative to pointer-walk SPD3 (<1 means the fast path wins)", n),
+		Notes: []string{
+			"fingerprint: packed root-path digits answer DMHP/LCA-depth without a tree walk",
+			"+memo: per-task direct-mapped cache of relations against recorded steps",
+		},
+		Header: []string{"Benchmark", "Walk(s)", "Fingerprint", "Fingerprint+Memo"},
+	}
+	in := bench.Input{Scale: cfg.Scale}
+	var fps, memos []float64
+	for _, b := range bench.All() {
+		walk, err := cfg.measure(b, SPD3Walk, n, in)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := cfg.measure(b, SPD3FP, n, in)
+		if err != nil {
+			return nil, err
+		}
+		full, err := cfg.measure(b, SPD3, n, in)
+		if err != nil {
+			return nil, err
+		}
+		rf, rm := ratio(fp.Time, walk.Time), ratio(full.Time, walk.Time)
+		fps = append(fps, rf)
+		memos = append(memos, rm)
+		t.AddRow(b.Name, fmt.Sprintf("%.3f", walk.Time.Seconds()), rf, rm)
+	}
+	t.AddRow("GeoMean", "", geoMean(fps), geoMean(memos))
 	return t, nil
 }
 

@@ -25,6 +25,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"fig6":               "Figure 6",
 		"ablation-sync":      "Ablation §5.4",
 		"ablation-stepcache": "Ablation §5.5",
+		"ablation-dmhp":      "Ablation: DMHP fast path",
 	}
 	exps := Experiments()
 	if len(exps) != len(wantTitle) {
@@ -89,7 +90,11 @@ func TestFig3RowsCoverSuite(t *testing.T) {
 // FastTrack's footprint must grow markedly with workers while SPD3's
 // stays near-constant.
 func TestFig6MemoryShape(t *testing.T) {
-	cfg := Config{Scale: 0.2, Repeats: 1}
+	// Scale must be large enough that per-location shadow state (O(n²)
+	// for LUFact) dominates the DPST (O(n·workers) when chunked, and
+	// now carrying a per-node path fingerprint); at real scales the gap
+	// is orders of magnitude (see EXPERIMENTS.md fig6).
+	cfg := Config{Scale: 0.4, Repeats: 1}
 	b, err := bench.ByName("LUFact")
 	if err != nil {
 		t.Fatal(err)

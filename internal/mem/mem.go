@@ -129,22 +129,41 @@ func (m *Matrix[T]) Cols() int { return m.cols }
 
 // Get performs an instrumented read of element (i, j).
 func (m *Matrix[T]) Get(c *task.Ctx, i, j int) T {
+	k := i*m.cols + j
 	if m.sited != nil {
-		m.sited.ReadAt(c.Task(), i*m.cols+j, callerSite())
+		m.sited.ReadAt(c.Task(), k, callerSite())
 	} else {
-		m.sh.Read(c.Task(), i*m.cols+j)
+		m.sh.Read(c.Task(), k)
 	}
-	return m.data[i*m.cols+j]
+	return m.data[k]
 }
 
 // Set performs an instrumented write of element (i, j).
 func (m *Matrix[T]) Set(c *task.Ctx, i, j int, v T) {
+	k := i*m.cols + j
 	if m.sited != nil {
-		m.sited.WriteAt(c.Task(), i*m.cols+j, callerSite())
+		m.sited.WriteAt(c.Task(), k, callerSite())
 	} else {
-		m.sh.Write(c.Task(), i*m.cols+j)
+		m.sh.Write(c.Task(), k)
 	}
-	m.data[i*m.cols+j] = v
+	m.data[k] = v
+}
+
+// Update applies f to element (i, j) as an instrumented
+// read-modify-write. Kernels that would otherwise pair a Get with a Set
+// of the same element pay one index computation, one site capture, and
+// one dispatch branch instead of two of each.
+func (m *Matrix[T]) Update(c *task.Ctx, i, j int, f func(T) T) {
+	k := i*m.cols + j
+	if m.sited != nil {
+		site := callerSite()
+		m.sited.ReadAt(c.Task(), k, site)
+		m.sited.WriteAt(c.Task(), k, site)
+	} else {
+		m.sh.Read(c.Task(), k)
+		m.sh.Write(c.Task(), k)
+	}
+	m.data[k] = f(m.data[k])
 }
 
 // Row returns row i of the backing store without instrumentation; see
@@ -186,6 +205,21 @@ func (v *Var[T]) Set(c *task.Ctx, x T) {
 		v.sh.Write(c.Task(), 0)
 	}
 	v.v = x
+}
+
+// Update applies f to the variable as an instrumented
+// read-modify-write; see Matrix.Update for why this beats a Get+Set
+// pair.
+func (v *Var[T]) Update(c *task.Ctx, f func(T) T) {
+	if v.sited != nil {
+		site := callerSite()
+		v.sited.ReadAt(c.Task(), 0, site)
+		v.sited.WriteAt(c.Task(), 0, site)
+	} else {
+		v.sh.Read(c.Task(), 0)
+		v.sh.Write(c.Task(), 0)
+	}
+	v.v = f(v.v)
 }
 
 // Mutex is an instrumented lock: it provides real mutual exclusion via a

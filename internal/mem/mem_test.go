@@ -60,6 +60,52 @@ func TestArrayUpdateIsReadModifyWrite(t *testing.T) {
 	}
 }
 
+func TestMatrixUpdateIsReadModifyWrite(t *testing.T) {
+	// Like Array.Update: two parallel Matrix.Updates of one element
+	// must race, and a sequential Update must apply f to the datum.
+	rt, sink := newRT(t)
+	m := NewMatrix[int](rt, "m", 2, 2)
+	err := rt.Run(func(c *task.Ctx) {
+		m.Set(c, 1, 1, 20)
+		m.Update(c, 1, 1, func(v int) int { return v + 1 })
+		if got := m.Get(c, 1, 1); got != 21 {
+			t.Errorf("m[1][1] = %d, want 21", got)
+		}
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			m.Update(c, 0, 0, func(v int) int { return v + 1 })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("parallel Matrix.Updates not reported")
+	}
+	if got := m.Row(0)[0]; got != 2 {
+		t.Errorf("m[0][0] = %d, want 2 (sequential executor)", got)
+	}
+}
+
+func TestVarUpdateIsReadModifyWrite(t *testing.T) {
+	rt, sink := newRT(t)
+	v := NewVar(rt, "v", 10)
+	err := rt.Run(func(c *task.Ctx) {
+		v.Update(c, func(x int) int { return x * 2 })
+		if got := v.Get(c); got != 20 {
+			t.Errorf("v = %d, want 20", got)
+		}
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			v.Update(c, func(x int) int { return x + 1 })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("parallel Var.Updates not reported")
+	}
+}
+
 func TestMatrixIndexing(t *testing.T) {
 	rt, sink := newRT(t)
 	m := NewMatrix[int](rt, "m", 3, 5)
@@ -203,6 +249,8 @@ func TestSiteCaptureAllContainers(t *testing.T) {
 			m.Set(c, 0, 0, i)
 			v.Set(c, i)
 			a.Update(c, 0, func(x int) int { return x + 1 })
+			m.Update(c, 0, 0, func(x int) int { return x + 1 })
+			v.Update(c, func(x int) int { return x + 1 })
 		})
 	})
 	if err != nil {

@@ -61,6 +61,12 @@ func TestSPD3SoundAndPreciseVsOracle(t *testing.T) {
 			{Sync: core.SyncMutex},
 			{Sync: core.SyncCAS, StepCache: true},
 			{Sync: core.SyncMutex, StepCache: true},
+			// DMHP fast-path ablations: the pointer walk, the
+			// fingerprint path, and the per-task memo must all
+			// yield the oracle's verdict.
+			{Sync: core.SyncCAS, NoFingerprint: true, NoDMHPMemo: true},
+			{Sync: core.SyncCAS, NoDMHPMemo: true},
+			{Sync: core.SyncCAS, NoFingerprint: true},
 		} {
 			sink := detect.NewSink(false, 0)
 			got := verdict(t, p, core.NewWith(sink, opt), sink, task.Sequential, 1)
