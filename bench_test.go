@@ -31,12 +31,8 @@ func cell(b *testing.B, bm *bench.Benchmark, tool harness.Tool, workers int, chu
 	var foot int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		det := harness.NewDetector(tool)
-		exec := task.Pool
-		if det.RequiresSequential() {
-			exec = task.Sequential
-		}
-		rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: det})
+		det, rec := harness.NewDetector(tool)
+		rt, err := task.New(task.Config{Executor: task.Auto, Workers: workers, Detector: det, Stats: rec})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,14 +164,15 @@ func BenchmarkAblationStepCache(b *testing.B) {
 // BenchmarkAblationDMHP regenerates the DMHP fast-path comparison on the
 // two monitoring-heavy kernels the ablation experiment highlights:
 // pointer-walk SPD3 vs packed fingerprints vs fingerprints plus the
-// per-task relation memo.
+// per-task relation memo. The spd3-nostats cell isolates the cost of the
+// observability counters (the Options.NoStats ablation).
 func BenchmarkAblationDMHP(b *testing.B) {
 	for _, name := range []string{"SOR", "LUFact"} {
 		bm, err := bench.ByName(name)
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, tool := range []harness.Tool{harness.SPD3Walk, harness.SPD3FP, harness.SPD3} {
+		for _, tool := range []harness.Tool{harness.SPD3Walk, harness.SPD3FP, harness.SPD3, harness.SPD3NoStats} {
 			b.Run(name+"/"+string(tool), func(b *testing.B) {
 				cell(b, bm, tool, 4, false)
 			})

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spd3/internal/harness"
+	"spd3/internal/stats"
+)
+
+// TestStatsJSONRoundTrips runs the stats experiment at a tiny scale
+// through the same OnStats collection path the -stats flag uses and
+// checks the emitted document is valid, schema-stable JSON. CI repeats
+// this end to end against the built binary.
+func TestStatsJSONRoundTrips(t *testing.T) {
+	var entries []statsEntry
+	cfg := harness.Config{
+		Scale: 0.05, Repeats: 1, Threads: []int{1, 2},
+		OnStats: func(benchmark string, tool harness.Tool, workers int, s stats.Snapshot) {
+			entries = append(entries, statsEntry{
+				Benchmark: benchmark, Tool: string(tool), Workers: workers, Stats: s,
+			})
+		},
+	}
+	e, err := harness.ByID("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("OnStats never fired")
+	}
+	raw, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []statsEntry
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	for i, e := range back {
+		if e.Benchmark == "" || e.Tool != "spd3" || e.Workers < 1 {
+			t.Errorf("entry %d malformed: %+v", i, e)
+		}
+		if e.Stats.Writes == 0 {
+			t.Errorf("entry %d (%s): no memory traffic recorded", i, e.Benchmark)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //	spd3 -bench Crypt -detector spd3 -workers 4
 //	spd3 -bench LUFact -detector fasttrack -chunked -scale 2
 //	spd3 -racy RacyMonteCarlo -detector spd3
+//	spd3 -bench SOR -stats          # append the observability snapshot as JSON
+//	spd3 -bench SOR -workload       # profile the workload itself (no detection)
 //
 // Record once, analyze offline under several detectors:
 //
@@ -14,40 +16,42 @@
 //	spd3 -replay sor.trc -detector spd3
 //	spd3 -replay sor.trc -detector fasttrack
 //
-// Detectors: none, spd3, spd3-mutex, espbags, fasttrack, eraser, oslabel.
+// Detectors come from the detect registry (see -detector's usage string
+// for the current list); hidden ablation variants such as spd3-walk are
+// accepted by name as well.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"spd3/internal/bench"
-	"spd3/internal/core"
 	"spd3/internal/detect"
-	"spd3/internal/eraser"
-	"spd3/internal/espbags"
-	"spd3/internal/fasttrack"
-	"spd3/internal/oslabel"
+	_ "spd3/internal/detectors" // populate the detector registry
+	"spd3/internal/stats"
 	"spd3/internal/task"
 	"spd3/internal/trace"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the benchmark suite and exit")
-		name     = flag.String("bench", "", "benchmark name (see -list)")
-		racy     = flag.String("racy", "", "run a deliberately racy variant (RacyMonteCarlo, BuggyBarrier)")
-		detector = flag.String("detector", "spd3", "none | spd3 | spd3-mutex | espbags | fasttrack | eraser | oslabel")
-		workers  = flag.Int("workers", 4, "worker count (pool executor)")
-		scale    = flag.Float64("scale", 1, "problem-size multiplier")
-		chunked  = flag.Bool("chunked", false, "coarse one-chunk-per-worker loops")
-		halt     = flag.Bool("halt", false, "stop checking after the first race (paper semantics)")
-		record   = flag.String("record", "", "record the execution trace to this file instead of detecting")
-		replay   = flag.String("replay", "", "replay a recorded trace into -detector instead of executing")
-		stats    = flag.Bool("stats", false, "print workload statistics (tasks, finishes, per-region traffic) instead of detecting")
+		list      = flag.Bool("list", false, "list the benchmark suite and exit")
+		name      = flag.String("bench", "", "benchmark name (see -list)")
+		racy      = flag.String("racy", "", "run a deliberately racy variant (RacyMonteCarlo, BuggyBarrier)")
+		detector  = flag.String("detector", "spd3", "one of: "+strings.Join(detect.Names(), " | "))
+		workers   = flag.Int("workers", 4, "worker count (pool executor)")
+		scale     = flag.Float64("scale", 1, "problem-size multiplier")
+		chunked   = flag.Bool("chunked", false, "coarse one-chunk-per-worker loops")
+		halt      = flag.Bool("halt", false, "stop checking after the first race (paper semantics)")
+		record    = flag.String("record", "", "record the execution trace to this file instead of detecting")
+		replay    = flag.String("replay", "", "replay a recorded trace into -detector instead of executing")
+		statsDump = flag.Bool("stats", false, "append the run's observability snapshot as JSON")
+		workload  = flag.Bool("workload", false, "print workload statistics (tasks, finishes, per-region traffic) instead of detecting")
 	)
 	flag.Parse()
 
@@ -85,30 +89,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	sink := detect.NewSink(*halt, 0)
-	var det detect.Detector
-	switch *detector {
-	case "":
-		fallthrough
-	case "none":
-		det = detect.Nop{}
-	case "spd3":
-		det = core.New(sink, core.SyncCAS)
-	case "spd3-mutex":
-		det = core.New(sink, core.SyncMutex)
-	case "espbags":
-		det = espbags.New(sink)
-	case "fasttrack":
-		det = fasttrack.New(sink)
-	case "eraser":
-		det = eraser.New(sink)
-	case "oslabel":
-		det = oslabel.New(sink)
-	default:
-		fmt.Fprintf(os.Stderr, "spd3: unknown detector %q\n", *detector)
-		os.Exit(2)
-	}
-	if *stats {
+	if *workload {
 		st := detect.NewStats()
 		rt, err := task.New(task.Config{Executor: task.Pool, Workers: *workers, Detector: st})
 		if err != nil {
@@ -128,6 +109,19 @@ func main() {
 		return
 	}
 
+	sink := detect.NewSink(*halt, 0)
+	statsRec := stats.New(0)
+	sink.SetStats(statsRec.Shard(0))
+	detName := *detector
+	if detName == "" {
+		detName = "spd3"
+	}
+	det, err := detect.New(detName, detect.FactoryOpts{Sink: sink, Stats: statsRec})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spd3:", err)
+		os.Exit(2)
+	}
+
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -141,14 +135,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("replayed  : %s into %s in %v\n", *replay, det.Name(), time.Since(start))
+		if *statsDump {
+			printStats(statsRec, det)
+		}
 		printRaces(sink, det)
 		return
 	}
 
-	exec := task.Pool
-	if det.RequiresSequential() {
-		exec = task.Sequential
-	}
 	var rec *trace.Recorder
 	if *record != "" {
 		f, err := os.Create(*record)
@@ -157,10 +150,10 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		rec = trace.NewRecorder(f, exec == task.Sequential)
+		rec = trace.NewRecorder(f, det.RequiresSequential())
 		det = rec
 	}
-	rt, err := task.New(task.Config{Executor: exec, Workers: *workers, Detector: det})
+	rt, err := task.New(task.Config{Executor: task.Auto, Workers: *workers, Detector: det, Stats: statsRec})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spd3:", err)
 		os.Exit(1)
@@ -192,7 +185,22 @@ func main() {
 		float64(fp.Total())/(1<<20), float64(fp.ShadowBytes)/(1<<20),
 		float64(fp.TreeBytes)/(1<<20), float64(fp.ClockBytes)/(1<<20),
 		float64(fp.SetBytes)/(1<<20))
+	if *statsDump {
+		printStats(statsRec, det)
+	}
 	printRaces(sink, det)
+}
+
+// printStats dumps the merged observability snapshot as indented JSON.
+func printStats(rec *stats.Recorder, det detect.Detector) {
+	snap := rec.Snapshot()
+	snap.Footprint = det.Footprint()
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spd3:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stats     :\n%s\n", out)
 }
 
 // printRaces reports the sink's races and exits non-zero when any were

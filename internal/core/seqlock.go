@@ -5,6 +5,7 @@ import (
 
 	"spd3/internal/detect"
 	"spd3/internal/dpst"
+	"spd3/internal/stats"
 )
 
 // casShadow implements the §5.4 versioned-snapshot protocol, Lamport's
@@ -80,16 +81,28 @@ func (s *casShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 	ts := t.State.(*taskState)
 	if s.d.stepCache {
 		if ts.cached(s.id, i, false) {
+			ts.nStepCache++
 			return
 		}
 	}
 	c := &s.cells[i]
+	var retries int64
 	for {
 		x, m := c.snapshot()
 		m, changed := s.d.readCheck(m, ts, s.name, i, site)
-		if !changed || c.publish(x, m) {
+		if !changed {
+			ts.nCASClean++
 			break
 		}
+		if c.publish(x, m) {
+			ts.nCASPublish++
+			break
+		}
+		retries++
+	}
+	if retries > 0 {
+		ts.nCASRetry += retries
+		ts.retryBuckets[stats.HistBucket(retries)]++
 	}
 	if s.d.stepCache {
 		ts.remember(s.id, i, false)
@@ -104,16 +117,28 @@ func (s *casShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 	ts := t.State.(*taskState)
 	if s.d.stepCache {
 		if ts.cached(s.id, i, true) {
+			ts.nStepCache++
 			return
 		}
 	}
 	c := &s.cells[i]
+	var retries int64
 	for {
 		x, m := c.snapshot()
 		m, changed := s.d.writeCheck(m, ts, s.name, i, site)
-		if !changed || c.publish(x, m) {
+		if !changed {
+			ts.nCASClean++
 			break
 		}
+		if c.publish(x, m) {
+			ts.nCASPublish++
+			break
+		}
+		retries++
+	}
+	if retries > 0 {
+		ts.nCASRetry += retries
+		ts.retryBuckets[stats.HistBucket(retries)]++
 	}
 	if s.d.stepCache {
 		ts.remember(s.id, i, true)

@@ -37,6 +37,7 @@ import (
 
 	"spd3/internal/detect"
 	"spd3/internal/dpst"
+	"spd3/internal/stats"
 )
 
 // SyncMode selects the shadow-word synchronization protocol (§5.4).
@@ -76,6 +77,12 @@ type Options struct {
 	// NoDMHPMemo disables the per-task DMHP relation cache (see
 	// taskState.mhp). On by default; disable for ablation.
 	NoDMHPMemo bool
+	// Stats is the engine's observability recorder; nil disables the
+	// detector's counters. The detector batches its counts in plain
+	// task-owned integers and flushes them into a shard once per task
+	// (see taskState.flush), so the steady-state cost per event is one
+	// non-atomic increment.
+	Stats *stats.Recorder
 }
 
 // Detector is the SPD3 race detector. Create with New; wire into a
@@ -87,6 +94,7 @@ type Detector struct {
 	stepCache bool
 	walkOnly  bool // Options.NoFingerprint
 	memo      bool // !Options.NoDMHPMemo
+	st        *stats.Recorder
 
 	shadowIDs   detect.Counter
 	shadowBytes detect.Counter
@@ -107,6 +115,7 @@ func NewWith(sink *detect.Sink, o Options) *Detector {
 		stepCache: o.StepCache,
 		walkOnly:  o.NoFingerprint,
 		memo:      !o.NoDMHPMemo,
+		st:        o.Stats,
 	}
 }
 
@@ -143,11 +152,51 @@ func (d *Detector) RequiresSequential() bool { return false }
 // advancing to a new step invalidates them for free. The cache is owned
 // by the task, needing no synchronization.
 // mhp additionally memoizes DMHP relations: see Detector.relation.
+//
+// The n* fields batch the detector's observability counters in plain
+// task-owned integers — no atomics, no sharing — and flush is called once
+// per task (TaskEnd, or the implicit FinishEnd for the main task) to move
+// them into the stats shard sh. A nil sh (stats disabled) makes flush a
+// no-op and the increments dead weight of one add each.
 type taskState struct {
 	step  *dpst.Node
 	scope *dpst.Node
 	cache [stepCacheSize]cacheEntry
 	mhp   [mhpMemoSize]mhpEntry
+
+	sh           *stats.Shard
+	nCASClean    int64
+	nCASPublish  int64
+	nCASRetry    int64
+	nMutexOps    int64
+	nDMHPFast    int64
+	nDMHPWalk    int64
+	nDMHPMemoHit int64
+	nStepCache   int64
+	retryBuckets [stats.HistBuckets]int64
+}
+
+// flush moves the batched counters into the task's stats shard and zeroes
+// them; safe to call multiple times and with a nil shard.
+func (ts *taskState) flush() {
+	if ts.sh == nil {
+		return
+	}
+	ts.sh.Add(stats.CASClean, ts.nCASClean)
+	ts.sh.Add(stats.CASPublish, ts.nCASPublish)
+	ts.sh.Add(stats.CASRetry, ts.nCASRetry)
+	ts.sh.Add(stats.MutexOps, ts.nMutexOps)
+	ts.sh.Add(stats.DMHPFast, ts.nDMHPFast)
+	ts.sh.Add(stats.DMHPWalk, ts.nDMHPWalk)
+	ts.sh.Add(stats.DMHPMemoHit, ts.nDMHPMemoHit)
+	ts.sh.Add(stats.StepCacheHit, ts.nStepCache)
+	for b, n := range ts.retryBuckets {
+		ts.sh.AddBucket(stats.HistCASRetry, b, n)
+	}
+	ts.nCASClean, ts.nCASPublish, ts.nCASRetry = 0, 0, 0
+	ts.nMutexOps, ts.nStepCache = 0, 0
+	ts.nDMHPFast, ts.nDMHPWalk, ts.nDMHPMemoHit = 0, 0, 0
+	ts.retryBuckets = [stats.HistBuckets]int64{}
 }
 
 const stepCacheSize = 32 // power of two
@@ -216,22 +265,30 @@ func (d *Detector) relation(ts *taskState, other *dpst.Node) (parallel bool, lca
 		return false, -1
 	}
 	if !d.memo {
-		return d.rel(other, ts.step)
+		return d.rel(ts, other, ts.step)
 	}
 	e := &ts.mhp[mhpSlot(other)]
 	if e.other == other && e.step == ts.step {
+		ts.nDMHPMemoHit++
 		return e.parallel, e.lcaDepth
 	}
-	p, l := d.rel(other, ts.step)
+	p, l := d.rel(ts, other, ts.step)
 	*e = mhpEntry{other: other, step: ts.step, parallel: p, lcaDepth: l}
 	return p, l
 }
 
 // rel dispatches one Relation query to the fingerprint fast path or,
-// under the walk-only ablation, the §5.2 pointer walk.
-func (d *Detector) rel(a, b *dpst.Node) (parallel bool, lcaDepth int32) {
+// under the walk-only ablation, the §5.2 pointer walk, attributing the
+// query to ts's fast/walk counters.
+func (d *Detector) rel(ts *taskState, a, b *dpst.Node) (parallel bool, lcaDepth int32) {
 	if d.walkOnly {
+		ts.nDMHPWalk++
 		return dpst.RelationWalk(a, b)
+	}
+	if a.FastPath() && b.FastPath() {
+		ts.nDMHPFast++
+	} else {
+		ts.nDMHPWalk++
 	}
 	return dpst.Relation(a, b)
 }
@@ -252,7 +309,7 @@ type finishState struct {
 func (d *Detector) MainTask(t *detect.Task, implicit *detect.Finish) {
 	run := d.tree.NewChild(d.tree.Root(), dpst.FinishNode)
 	step := d.tree.NewChild(run, dpst.StepNode)
-	t.State = &taskState{step: step, scope: run}
+	t.State = &taskState{step: step, scope: run, sh: d.st.Shard(int(t.ID))}
 	implicit.State = &finishState{node: run}
 }
 
@@ -265,12 +322,15 @@ func (d *Detector) BeforeSpawn(parent, child *detect.Task) {
 	ps := parent.State.(*taskState)
 	a := d.tree.NewChild(ps.scope, dpst.AsyncNode)
 	childStep := d.tree.NewChild(a, dpst.StepNode)
-	child.State = &taskState{step: childStep, scope: a}
+	child.State = &taskState{step: childStep, scope: a, sh: d.st.Shard(int(child.ID))}
 	ps.step = d.tree.NewChild(ps.scope, dpst.StepNode)
 }
 
-// TaskEnd has no DPST effect: the join is represented by the finish node.
-func (d *Detector) TaskEnd(*detect.Task) {}
+// TaskEnd has no DPST effect (the join is represented by the finish
+// node); it flushes the task's batched stats counters.
+func (d *Detector) TaskEnd(t *detect.Task) {
+	t.State.(*taskState).flush()
+}
 
 // FinishStart implements §3.1 "Start Finish": a finish node under the
 // current scope, plus a step node for the computation starting inside it.
@@ -289,6 +349,10 @@ func (d *Detector) FinishStart(t *detect.Task, f *detect.Finish) {
 func (d *Detector) FinishEnd(t *detect.Task, f *detect.Finish) {
 	fs := f.State.(*finishState)
 	if fs.prevScope == nil {
+		// End of the implicit run-level finish: the main task gets no
+		// TaskEnd (the executors call its body directly), so its
+		// batched counters flush here.
+		t.State.(*taskState).flush()
 		return
 	}
 	ts := t.State.(*taskState)
@@ -410,7 +474,7 @@ func (d *Detector) readCheck(m word, ts *taskState, region string, i int, site u
 		// LCA(r1,s) = LCA(r2,s) and replacing r1 with s lifts the
 		// subtree to cover all three. lca1s is the LCA depth the
 		// DMHP(r1,s) relation above already computed.
-		_, lca12 := d.rel(m.r1, m.r2)
+		_, lca12 := d.rel(ts, m.r1, m.r2)
 		if lca1s < lca12 {
 			m.r1 = s
 			return m, true
@@ -454,9 +518,11 @@ func (s *mutexShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 	ts := t.State.(*taskState)
 	if s.d.stepCache {
 		if ts.cached(s.id, i, false) {
+			ts.nStepCache++
 			return
 		}
 	}
+	ts.nMutexOps++
 	c := &s.cells[i]
 	c.mu.Lock()
 	if m, changed := s.d.readCheck(c.m, ts, s.name, i, site); changed {
@@ -476,9 +542,11 @@ func (s *mutexShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 	ts := t.State.(*taskState)
 	if s.d.stepCache {
 		if ts.cached(s.id, i, true) {
+			ts.nStepCache++
 			return
 		}
 	}
+	ts.nMutexOps++
 	c := &s.cells[i]
 	c.mu.Lock()
 	if m, changed := s.d.writeCheck(c.m, ts, s.name, i, site); changed {

@@ -35,6 +35,8 @@ import (
 	"runtime"
 	"strings"
 	"sync/atomic"
+
+	"spd3/internal/stats"
 )
 
 // TaskID identifies a dynamic task instance. The main task has ID 0; IDs
@@ -192,18 +194,10 @@ type Detector interface {
 
 // Footprint is a detector's analytic accounting of the bytes it allocated,
 // mirroring the paper's Table 3 / Figure 6 memory comparison in a
-// deterministic, GC-independent way.
-type Footprint struct {
-	ShadowBytes int64 // per-location shadow words (O(1) vs O(n) is visible here)
-	TreeBytes   int64 // DPST nodes (SPD3) or bag nodes (ESP-bags)
-	ClockBytes  int64 // vector clocks (FastTrack)
-	SetBytes    int64 // locksets (Eraser)
-}
-
-// Total returns the sum of all accounted bytes.
-func (f Footprint) Total() int64 {
-	return f.ShadowBytes + f.TreeBytes + f.ClockBytes + f.SetBytes
-}
+// deterministic, GC-independent way. It is an alias of stats.Footprint so
+// the engine can carry the same value inside a stats.Snapshot; see that
+// package for the field documentation.
+type Footprint = stats.Footprint
 
 // Nop is the uninstrumented baseline: every event and access is a no-op.
 // Engine uses it when no detector is configured; benchmark slowdowns are

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"spd3/internal/stats"
 )
 
 // RaceKind classifies a detected race by the order and kinds of the two
@@ -61,7 +63,9 @@ type key struct {
 // use. Depending on configuration it either records the first race and
 // requests a halt (the paper's semantics) or deduplicates and keeps going
 // (needed to benchmark Eraser, whose false positives would otherwise stop
-// every run).
+// every run). An OnRace callback switches the sink from buffering to
+// streaming: distinct races are delivered to the callback instead of the
+// races slice, so arbitrarily long runs never accumulate reports.
 type Sink struct {
 	stopped atomic.Bool // set on first report in halt mode; hot-path readable
 
@@ -71,6 +75,9 @@ type Sink struct {
 	races  []Race
 	capped bool
 	limit  int
+
+	onRace func(Race) bool
+	st     *stats.Shard
 }
 
 // NewSink returns a race sink. If haltFirst is true the first report
@@ -83,23 +90,58 @@ func NewSink(haltFirst bool, limit int) *Sink {
 	return &Sink{halt: haltFirst, seen: make(map[key]struct{}), limit: limit}
 }
 
+// SetOnRace switches the sink to streaming mode: each distinct race is
+// delivered to fn instead of being buffered (Races and RacesSince stay
+// empty). fn returning true halts detection like a halt-mode first report.
+// fn runs outside the sink's lock and may be invoked concurrently when
+// distinct races are detected on different workers at once. Call before
+// the run starts; nil restores buffering.
+func (s *Sink) SetOnRace(fn func(Race) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onRace = fn
+}
+
+// SetStats points the sink at a stats shard for its reported / deduped /
+// dropped counters. A nil shard (the default) is a no-op sink for them.
+func (s *Sink) SetStats(sh *stats.Shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st = sh
+}
+
 // Report records a race. It returns true when execution should halt.
 func (s *Sink) Report(r Race) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	k := key{r.Kind, r.Region, r.Index}
-	if _, dup := s.seen[k]; !dup {
-		s.seen[k] = struct{}{}
+	if _, dup := s.seen[k]; dup {
+		st := s.st
+		s.mu.Unlock()
+		st.Inc(stats.RaceDeduped)
+		return s.stopped.Load()
+	}
+	s.seen[k] = struct{}{}
+	onRace, st := s.onRace, s.st
+	if onRace == nil {
 		if len(s.races) < s.limit {
 			s.races = append(s.races, r)
+			st.Inc(stats.RaceReported)
 		} else {
 			s.capped = true
+			st.Inc(stats.RaceDropped)
 		}
+	} else {
+		st.Inc(stats.RaceReported)
 	}
-	if s.halt {
+	halt := s.halt
+	s.mu.Unlock()
+	if onRace != nil && onRace(r) {
+		halt = true
+	}
+	if halt {
 		s.stopped.Store(true)
 	}
-	return s.halt
+	return halt
 }
 
 // Stopped reports whether a halt-mode sink has already recorded a race.
@@ -156,11 +198,12 @@ func sortRaces(out []Race) {
 	})
 }
 
-// Empty reports whether no race has been recorded.
+// Empty reports whether no distinct race has been observed (buffered or
+// streamed).
 func (s *Sink) Empty() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.races) == 0
+	return len(s.seen) == 0
 }
 
 // Capped reports whether reports were dropped because the limit was hit.

@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spd3/internal/stats"
+)
+
+// FactoryOpts carries the shared dependencies a detector factory may wire
+// into the detector it builds: the race sink every detector reports to,
+// and the engine's stats recorder (nil when stats are disabled — factories
+// must pass it through as-is, never substitute their own).
+type FactoryOpts struct {
+	Sink  *Sink
+	Stats *stats.Recorder
+}
+
+// Factory builds one detector instance for one engine.
+type Factory func(FactoryOpts) Detector
+
+type registryEntry struct {
+	factory Factory
+	hidden  bool
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]registryEntry)
+)
+
+// Register makes a detector constructible by name through New and listed
+// by Names. It is intended to be called from a detector package's init
+// (in the style of database/sql drivers), so adding a detector to the
+// repository is one self-registering file. It panics if name is empty,
+// already registered, or f is nil.
+func Register(name string, f Factory) {
+	register(name, f, false)
+}
+
+// RegisterVariant registers an ablation or debugging variant: it is
+// constructible by name through New but omitted from Names, keeping the
+// user-facing detector list stable while cmd tools and the harness can
+// still reach the variant.
+func RegisterVariant(name string, f Factory) {
+	register(name, f, true)
+}
+
+func register(name string, f Factory, hidden bool) {
+	if name == "" {
+		panic("detect: Register with empty detector name")
+	}
+	if f == nil {
+		panic("detect: Register with nil factory for " + name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("detect: Register called twice for " + name)
+	}
+	registry[name] = registryEntry{factory: f, hidden: hidden}
+}
+
+// New builds the named detector. The error lists the registered names so
+// a typo on a command line is self-explaining.
+func New(name string, opts FactoryOpts) (Detector, error) {
+	registryMu.RLock()
+	e, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("spd3: unknown detector %q (have %v)", name, Names())
+	}
+	return e.factory(opts), nil
+}
+
+// Names returns the registered, non-hidden detector names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name, e := range registry {
+		if !e.hidden {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registered reports whether name is constructible (hidden or not).
+func Registered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+func init() {
+	// The uninstrumented baseline lives in this package, so it
+	// registers here; algorithm packages register themselves.
+	Register("none", func(FactoryOpts) Detector { return Nop{} })
+}

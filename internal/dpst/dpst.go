@@ -269,6 +269,12 @@ func Relation(a, b *Node) (parallel bool, lcaDepth int32) {
 	return RelationWalk(a, b)
 }
 
+// FastPath reports whether the node's packed fingerprint is valid — a
+// Relation query between two fast-path nodes is answered without touching
+// the tree. Exported so the detector's observability layer can attribute
+// each DMHP query to the fast path or the walk.
+func (n *Node) FastPath() bool { return n.fp.valid() }
+
 // RelationWalk answers Relation via the §5.2 pointer walk regardless of
 // fingerprint validity; exported so the detector's walk-only ablation
 // and the differential tests can pin the two implementations against

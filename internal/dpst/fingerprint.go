@@ -42,10 +42,10 @@ package dpst
 import "math/bits"
 
 const (
-	digitBits     = 16                      // one path element per digit
-	digitsPerWord = 64 / digitBits          // 4
-	inlineDigits  = 2 * digitsPerWord       // levels encoded in w0/w1
-	kindBits      = 2                       // Kind fits in two bits
+	digitBits     = 16                // one path element per digit
+	digitsPerWord = 64 / digitBits    // 4
+	inlineDigits  = 2 * digitsPerWord // levels encoded in w0/w1
+	kindBits      = 2                 // Kind fits in two bits
 	kindMask      = 1<<kindBits - 1
 	digitMask     = 1<<digitBits - 1
 	// maxDigitSeq is the largest sibling index a digit can hold; a

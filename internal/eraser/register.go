@@ -1,0 +1,9 @@
+package eraser
+
+import "spd3/internal/detect"
+
+func init() {
+	detect.Register("eraser", func(o detect.FactoryOpts) detect.Detector {
+		return New(o.Sink)
+	})
+}

@@ -1,0 +1,9 @@
+package espbags
+
+import "spd3/internal/detect"
+
+func init() {
+	detect.Register("espbags", func(o detect.FactoryOpts) detect.Detector {
+		return New(o.Sink)
+	})
+}

@@ -1,0 +1,9 @@
+package fasttrack
+
+import "spd3/internal/detect"
+
+func init() {
+	detect.Register("fasttrack", func(o detect.FactoryOpts) detect.Detector {
+		return New(o.Sink)
+	})
+}

@@ -24,11 +24,9 @@ import (
 	"time"
 
 	"spd3/internal/bench"
-	"spd3/internal/core"
 	"spd3/internal/detect"
-	"spd3/internal/eraser"
-	"spd3/internal/espbags"
-	"spd3/internal/fasttrack"
+	_ "spd3/internal/detectors" // populate the detector registry
+	"spd3/internal/stats"
 	"spd3/internal/task"
 )
 
@@ -41,6 +39,10 @@ type Config struct {
 	Repeats int
 	// Threads is the worker-count sweep (default 1,2,4,8,16).
 	Threads []int
+	// OnStats, when non-nil, receives the observability snapshot of the
+	// best run of every measurement (cmd/experiments -stats collects
+	// these into a JSON document).
+	OnStats func(benchmark string, tool Tool, workers int, s stats.Snapshot)
 }
 
 func (c Config) withDefaults() Config {
@@ -70,49 +72,53 @@ func (c Config) maxThreads() int {
 // Tool names a detector configuration in the experiment tables.
 type Tool string
 
-// Tools.
+// Tools. Each name (except the two below) is a detect registry name —
+// visible detectors or hidden ablation variants alike.
 const (
-	Base      Tool = "base"
-	SPD3      Tool = "spd3" // fingerprint fast path + per-task DMHP memo (the default)
-	SPD3Lock  Tool = "spd3-mutex"
-	SPD3Cache Tool = "spd3-stepcache"
-	SPD3Walk  Tool = "spd3-walk" // DMHP via the §5.2 pointer walk only (ablation)
-	SPD3FP    Tool = "spd3-fp"   // fingerprints on, per-task memo off (ablation)
-	ESPBags   Tool = "espbags"
-	FastTrack Tool = "fasttrack"
-	Eraser    Tool = "eraser"
+	Base        Tool = "base"
+	SPD3        Tool = "spd3" // fingerprint fast path + per-task DMHP memo (the default)
+	SPD3Lock    Tool = "spd3-mutex"
+	SPD3Cache   Tool = "spd3-stepcache"
+	SPD3Walk    Tool = "spd3-walk"    // DMHP via the §5.2 pointer walk only (ablation)
+	SPD3FP      Tool = "spd3-fp"      // fingerprints on, per-task memo off (ablation)
+	SPD3NoStats Tool = "spd3-nostats" // default SPD3 with the stats recorder disabled (ablation)
+	ESPBags     Tool = "espbags"
+	FastTrack   Tool = "fasttrack"
+	Eraser      Tool = "eraser"
 )
 
-// NewDetector builds a fresh detector of the given kind, reporting to a
-// fresh log-mode sink.
-func NewDetector(tool Tool) detect.Detector {
+// NewDetector builds a fresh detector of the given kind through the
+// detect registry, reporting to a fresh log-mode sink, together with the
+// stats recorder wired into it (nil for Base and SPD3NoStats).
+func NewDetector(tool Tool) (detect.Detector, *stats.Recorder) {
 	sink := detect.NewSink(false, 0)
+	name := string(tool)
+	var rec *stats.Recorder
 	switch tool {
-	case SPD3:
-		return core.New(sink, core.SyncCAS)
-	case SPD3Lock:
-		return core.New(sink, core.SyncMutex)
-	case SPD3Cache:
-		return core.NewWith(sink, core.Options{Sync: core.SyncCAS, StepCache: true})
-	case SPD3Walk:
-		return core.NewWith(sink, core.Options{Sync: core.SyncCAS, NoFingerprint: true, NoDMHPMemo: true})
-	case SPD3FP:
-		return core.NewWith(sink, core.Options{Sync: core.SyncCAS, NoDMHPMemo: true})
-	case ESPBags:
-		return espbags.New(sink)
-	case FastTrack:
-		return fasttrack.New(sink)
-	case Eraser:
-		return eraser.New(sink)
+	case Base:
+		name = "none"
+	case SPD3NoStats:
+		name = "spd3"
 	default:
-		return detect.Nop{}
+		rec = stats.New(0)
+		sink.SetStats(rec.Shard(0))
 	}
+	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec})
+	if err != nil {
+		// Every Tool constant is registered; an unknown tool is a
+		// harness bug, matching the old switch's detect.Nop fallback
+		// would hide it.
+		panic(err)
+	}
+	return det, rec
 }
 
 // Measurement is one experimental data point.
 type Measurement struct {
 	Time      time.Duration
 	Footprint detect.Footprint
+	// Stats is the observability snapshot of the fastest run.
+	Stats stats.Snapshot
 	// AllocDelta is the Go heap allocation delta of the fastest run,
 	// a secondary, GC-sensitive memory signal.
 	AllocDelta int64
@@ -126,13 +132,11 @@ func (c Config) measure(b *bench.Benchmark, tool Tool, workers int, in bench.Inp
 	var best Measurement
 	best.Time = math.MaxInt64
 	for rep := 0; rep < c.Repeats; rep++ {
-		det := NewDetector(tool)
-		exec := task.Pool
+		det, rec := NewDetector(tool)
 		if det.RequiresSequential() {
-			exec = task.Sequential
 			workers = 1
 		}
-		rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: det})
+		rt, err := task.New(task.Config{Executor: task.Auto, Workers: workers, Detector: det, Stats: rec})
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -147,12 +151,18 @@ func (c Config) measure(b *bench.Benchmark, tool Tool, workers int, in bench.Inp
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
 		if elapsed < best.Time {
+			snap := rec.Snapshot()
+			snap.Footprint = det.Footprint()
 			best = Measurement{
 				Time:       elapsed,
-				Footprint:  det.Footprint(),
+				Footprint:  snap.Footprint,
+				Stats:      snap,
 				AllocDelta: int64(m1.TotalAlloc - m0.TotalAlloc),
 			}
 		}
+	}
+	if c.OnStats != nil {
+		c.OnStats(b.Name, tool, workers, best.Stats)
 	}
 	return best, nil
 }
@@ -192,6 +202,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-sync", Title: "§5.4 ablation: versioned-CAS vs per-word mutex", Run: ablationSync},
 		{ID: "ablation-stepcache", Title: "§5.5 ablation: per-step redundant-check cache", Run: ablationStepCache},
 		{ID: "ablation-dmhp", Title: "DMHP fast-path ablation: pointer walk vs fingerprints vs fingerprints+memo", Run: ablationDMHP},
+		{ID: "stats", Title: "Observability counters: per-benchmark SPD3 event profile", Run: statsTable},
 	}
 }
 
@@ -511,10 +522,11 @@ func ablationDMHP(cfg Config) (*Table, error) {
 			"fingerprint: packed root-path digits answer DMHP/LCA-depth without a tree walk",
 			"+memo: per-task direct-mapped cache of relations against recorded steps",
 		},
-		Header: []string{"Benchmark", "Walk(s)", "Fingerprint", "Fingerprint+Memo"},
+		Header: []string{"Benchmark", "Walk(s)", "Fingerprint", "Fingerprint+Memo", "NoStats"},
 	}
+	t.Notes = append(t.Notes, "nostats: Fingerprint+Memo with the observability counters disabled (Options.NoStats)")
 	in := bench.Input{Scale: cfg.Scale}
-	var fps, memos []float64
+	var fps, memos, nostats []float64
 	for _, b := range bench.All() {
 		walk, err := cfg.measure(b, SPD3Walk, n, in)
 		if err != nil {
@@ -528,12 +540,53 @@ func ablationDMHP(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rf, rm := ratio(fp.Time, walk.Time), ratio(full.Time, walk.Time)
+		bare, err := cfg.measure(b, SPD3NoStats, n, in)
+		if err != nil {
+			return nil, err
+		}
+		rf, rm, rn := ratio(fp.Time, walk.Time), ratio(full.Time, walk.Time), ratio(bare.Time, walk.Time)
 		fps = append(fps, rf)
 		memos = append(memos, rm)
-		t.AddRow(b.Name, fmt.Sprintf("%.3f", walk.Time.Seconds()), rf, rm)
+		nostats = append(nostats, rn)
+		t.AddRow(b.Name, fmt.Sprintf("%.3f", walk.Time.Seconds()), rf, rm, rn)
 	}
-	t.AddRow("GeoMean", "", geoMean(fps), geoMean(memos))
+	t.AddRow("GeoMean", "", geoMean(fps), geoMean(memos), geoMean(nostats))
+	return t, nil
+}
+
+// statsTable profiles every benchmark under the default SPD3 detector at
+// the maximum worker count through the observability subsystem: shadow
+// protocol outcomes, DMHP resolution mix, scheduler behaviour, and memory
+// traffic. Counts come from the fastest repeat, so ratios — not absolute
+// totals — are the stable signal.
+func statsTable(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.maxThreads()
+	t := &Table{
+		Title: fmt.Sprintf("Observability counters: SPD3 at %d workers, unchunked", n),
+		Notes: []string{
+			"cas: versioned-CAS outcomes per shadow access (clean = no metadata change)",
+			"dmhp: fast = O(1) fingerprint compare, walk = §5.2 pointer walk, memo = per-task cache hit",
+			"sched: tasks acquired by spawn/inline-pop/steal; mem: instrumented reads+writes",
+		},
+		Header: []string{"Benchmark", "CASClean", "CASPublish", "CASRetry",
+			"DMHPFast", "DMHPWalk", "DMHPMemo", "Spawn", "Steal", "Reads", "Writes"},
+	}
+	in := bench.Input{Scale: cfg.Scale}
+	for _, b := range bench.All() {
+		m, err := cfg.measure(b, SPD3, n, in)
+		if err != nil {
+			return nil, err
+		}
+		s := m.Stats
+		t.AddRow(b.Name,
+			fmt.Sprint(s.Get(stats.CASClean)), fmt.Sprint(s.Get(stats.CASPublish)),
+			fmt.Sprint(s.Get(stats.CASRetry)),
+			fmt.Sprint(s.Get(stats.DMHPFast)), fmt.Sprint(s.Get(stats.DMHPWalk)),
+			fmt.Sprint(s.Get(stats.DMHPMemoHit)),
+			fmt.Sprint(s.Get(stats.TaskSpawn)), fmt.Sprint(s.Get(stats.TaskSteal)),
+			fmt.Sprint(s.Reads), fmt.Sprint(s.Writes))
+	}
 	return t, nil
 }
 

@@ -26,6 +26,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"ablation-sync":      "Ablation §5.4",
 		"ablation-stepcache": "Ablation §5.5",
 		"ablation-dmhp":      "Ablation: DMHP fast path",
+		"stats":              "Observability counters",
 	}
 	exps := Experiments()
 	if len(exps) != len(wantTitle) {

@@ -23,6 +23,7 @@ import (
 	"unsafe"
 
 	"spd3/internal/detect"
+	"spd3/internal/stats"
 	"spd3/internal/task"
 )
 
@@ -31,6 +32,7 @@ type Array[T any] struct {
 	data  []T
 	sh    detect.Shadow
 	sited detect.SiteShadow // non-nil when site capture is on and supported
+	reg   *stats.Region     // per-region traffic tally; nil when stats are off
 }
 
 // siteShadow returns the shadow's site-capable form when rt asks for
@@ -55,7 +57,7 @@ func callerSite() uintptr {
 func NewArray[T any](rt *task.Runtime, name string, n int) *Array[T] {
 	var zero T
 	sh := rt.Detector().NewShadow(name, n, int(unsafe.Sizeof(zero)))
-	return &Array[T]{data: make([]T, n), sh: sh, sited: siteShadow(rt, sh)}
+	return &Array[T]{data: make([]T, n), sh: sh, sited: siteShadow(rt, sh), reg: rt.Stats().Region(name, n)}
 }
 
 // Len returns the number of elements.
@@ -63,6 +65,7 @@ func (a *Array[T]) Len() int { return len(a.data) }
 
 // Get performs an instrumented read of element i.
 func (a *Array[T]) Get(c *task.Ctx, i int) T {
+	c.CountAccess(a.reg, false)
 	if a.sited != nil {
 		a.sited.ReadAt(c.Task(), i, callerSite())
 	} else {
@@ -73,6 +76,7 @@ func (a *Array[T]) Get(c *task.Ctx, i int) T {
 
 // Set performs an instrumented write of element i.
 func (a *Array[T]) Set(c *task.Ctx, i int, v T) {
+	c.CountAccess(a.reg, true)
 	if a.sited != nil {
 		a.sited.WriteAt(c.Task(), i, callerSite())
 	} else {
@@ -83,6 +87,8 @@ func (a *Array[T]) Set(c *task.Ctx, i int, v T) {
 
 // Update applies f to element i as an instrumented read-modify-write.
 func (a *Array[T]) Update(c *task.Ctx, i int, f func(T) T) {
+	c.CountAccess(a.reg, false)
+	c.CountAccess(a.reg, true)
 	if a.sited != nil {
 		site := callerSite()
 		a.sited.ReadAt(c.Task(), i, site)
@@ -106,6 +112,7 @@ type Matrix[T any] struct {
 	data       []T
 	sh         detect.Shadow
 	sited      detect.SiteShadow
+	reg        *stats.Region
 }
 
 // NewMatrix allocates an instrumented rows×cols matrix.
@@ -118,6 +125,7 @@ func NewMatrix[T any](rt *task.Runtime, name string, rows, cols int) *Matrix[T] 
 		data:  make([]T, rows*cols),
 		sh:    sh,
 		sited: siteShadow(rt, sh),
+		reg:   rt.Stats().Region(name, rows*cols),
 	}
 }
 
@@ -129,6 +137,7 @@ func (m *Matrix[T]) Cols() int { return m.cols }
 
 // Get performs an instrumented read of element (i, j).
 func (m *Matrix[T]) Get(c *task.Ctx, i, j int) T {
+	c.CountAccess(m.reg, false)
 	k := i*m.cols + j
 	if m.sited != nil {
 		m.sited.ReadAt(c.Task(), k, callerSite())
@@ -140,6 +149,7 @@ func (m *Matrix[T]) Get(c *task.Ctx, i, j int) T {
 
 // Set performs an instrumented write of element (i, j).
 func (m *Matrix[T]) Set(c *task.Ctx, i, j int, v T) {
+	c.CountAccess(m.reg, true)
 	k := i*m.cols + j
 	if m.sited != nil {
 		m.sited.WriteAt(c.Task(), k, callerSite())
@@ -154,6 +164,8 @@ func (m *Matrix[T]) Set(c *task.Ctx, i, j int, v T) {
 // of the same element pay one index computation, one site capture, and
 // one dispatch branch instead of two of each.
 func (m *Matrix[T]) Update(c *task.Ctx, i, j int, f func(T) T) {
+	c.CountAccess(m.reg, false)
+	c.CountAccess(m.reg, true)
 	k := i*m.cols + j
 	if m.sited != nil {
 		site := callerSite()
@@ -178,17 +190,19 @@ type Var[T any] struct {
 	v     T
 	sh    detect.Shadow
 	sited detect.SiteShadow
+	reg   *stats.Region
 }
 
 // NewVar allocates an instrumented variable with initial value init.
 func NewVar[T any](rt *task.Runtime, name string, init T) *Var[T] {
 	var zero T
 	sh := rt.Detector().NewShadow(name, 1, int(unsafe.Sizeof(zero)))
-	return &Var[T]{v: init, sh: sh, sited: siteShadow(rt, sh)}
+	return &Var[T]{v: init, sh: sh, sited: siteShadow(rt, sh), reg: rt.Stats().Region(name, 1)}
 }
 
 // Get performs an instrumented read.
 func (v *Var[T]) Get(c *task.Ctx) T {
+	c.CountAccess(v.reg, false)
 	if v.sited != nil {
 		v.sited.ReadAt(c.Task(), 0, callerSite())
 	} else {
@@ -199,6 +213,7 @@ func (v *Var[T]) Get(c *task.Ctx) T {
 
 // Set performs an instrumented write.
 func (v *Var[T]) Set(c *task.Ctx, x T) {
+	c.CountAccess(v.reg, true)
 	if v.sited != nil {
 		v.sited.WriteAt(c.Task(), 0, callerSite())
 	} else {
@@ -211,6 +226,8 @@ func (v *Var[T]) Set(c *task.Ctx, x T) {
 // read-modify-write; see Matrix.Update for why this beats a Get+Set
 // pair.
 func (v *Var[T]) Update(c *task.Ctx, f func(T) T) {
+	c.CountAccess(v.reg, false)
+	c.CountAccess(v.reg, true)
 	if v.sited != nil {
 		site := callerSite()
 		v.sited.ReadAt(c.Task(), 0, site)

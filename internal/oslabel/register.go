@@ -1,0 +1,9 @@
+package oslabel
+
+import "spd3/internal/detect"
+
+func init() {
+	detect.Register("oslabel", func(o detect.FactoryOpts) detect.Detector {
+		return New(o.Sink)
+	})
+}

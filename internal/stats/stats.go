@@ -1,0 +1,394 @@
+// Package stats is the runtime observability layer: a low-overhead,
+// shard-per-core set of counters, histograms, and per-region access
+// tallies threaded through the whole stack — the detector's shadow
+// protocol (internal/core), the DMHP fast path (internal/dpst via
+// internal/core), the task runtime's executors (internal/task), the
+// instrumented containers (internal/mem), and the race sink
+// (internal/detect).
+//
+// The paper's evaluation (§6) is entirely about measured behavior —
+// slowdowns, memory per location, scalability — and the per-benchmark
+// spread is explained by a handful of hot-path events: how often the
+// versioned-CAS shadow protocol retries, how often a DMHP query can be
+// answered from packed fingerprints versus the §5.2 pointer walk, how
+// well the per-task relation memo hits, and how work moves between
+// workers. This package makes those events visible without ad-hoc
+// printf, cheaply enough to stay on by default.
+//
+// # Design
+//
+// A Recorder owns a power-of-two number of Shards (default: enough for
+// GOMAXPROCS). Each shard is a padded block of atomic cells, so two
+// workers bumping the same Counter on different shards never share a
+// cache line. Writers pick a shard by any cheap stable small integer —
+// the pool worker index or the task ID — and increment with a single
+// uncontended atomic add. Nothing is aggregated on the hot path: a
+// Snapshot merges all shards only when asked (the engine asks once, at
+// the end of Run).
+//
+// Hot producers batch even the atomic away: the SPD3 detector counts in
+// plain task-owned integers and flushes them into a shard once per task
+// (see internal/core), so the steady-state cost of a counter is one
+// non-atomic increment.
+//
+// A nil *Recorder, *Shard, or *Region is valid and makes every method a
+// no-op; Options.NoStats hands nil recorders down the stack and the
+// instrumentation vanishes behind a predictable branch.
+package stats
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter identifies one global event counter. Counters are merged
+// across shards by Snapshot.
+type Counter uint8
+
+// Counters. The groups mirror the layers that produce them.
+const (
+	// CASClean counts memory actions under the versioned-CAS shadow
+	// protocol that completed without needing to update the word — the
+	// read-shared common case that makes SPD3 scale (§5.4).
+	CASClean Counter = iota
+	// CASPublish counts successful shadow-word updates (CAS won).
+	CASPublish
+	// CASRetry counts restarts of a memory action after a lost CAS.
+	CASRetry
+	// MutexOps counts shadow-word accesses under the per-word mutex
+	// protocol (the §5.4 ablation detector).
+	MutexOps
+	// DMHPFast counts DMHP/LCA queries answered from packed
+	// fingerprints without touching the tree.
+	DMHPFast
+	// DMHPWalk counts DMHP/LCA queries that fell back to (or were
+	// pinned to, under the walk-only ablation) the §5.2 pointer walk.
+	DMHPWalk
+	// DMHPMemoHit counts DMHP queries answered from the per-task
+	// relation memo without recomputing.
+	DMHPMemoHit
+	// StepCacheHit counts accesses short-circuited by the per-step
+	// redundant-check cache (the opt-in §5.5-style optimization).
+	StepCacheHit
+	// TaskSpawn counts spawned tasks (every Async).
+	TaskSpawn
+	// TaskSteal counts tasks obtained by stealing from another pool
+	// worker's deque.
+	TaskSteal
+	// TaskInline counts tasks executed by the worker that spawned them
+	// (own-deque pops on the pool executor, inline runs on the
+	// sequential executor).
+	TaskInline
+	// RaceReported counts distinct races delivered by the sink.
+	RaceReported
+	// RaceDeduped counts race reports suppressed as duplicates of an
+	// already-reported (kind, region, element).
+	RaceDeduped
+	// RaceDropped counts distinct races dropped because the sink's
+	// buffer limit was hit.
+	RaceDropped
+
+	// NumCounters is the number of Counter values; not itself a
+	// counter.
+	NumCounters
+)
+
+// counterNames are the stable wire names used by Map and the JSON form.
+var counterNames = [NumCounters]string{
+	CASClean:     "cas.clean",
+	CASPublish:   "cas.publish",
+	CASRetry:     "cas.retry",
+	MutexOps:     "mutex.ops",
+	DMHPFast:     "dmhp.fast",
+	DMHPWalk:     "dmhp.walk",
+	DMHPMemoHit:  "dmhp.memo_hit",
+	StepCacheHit: "stepcache.hit",
+	TaskSpawn:    "task.spawn",
+	TaskSteal:    "task.steal",
+	TaskInline:   "task.inline",
+	RaceReported: "race.reported",
+	RaceDeduped:  "race.deduped",
+	RaceDropped:  "race.dropped",
+}
+
+// String returns the counter's stable wire name.
+func (c Counter) String() string {
+	if c < NumCounters {
+		return counterNames[c]
+	}
+	return "counter.unknown"
+}
+
+// HistID identifies one histogram.
+type HistID uint8
+
+// Histograms.
+const (
+	// HistCASRetry is the distribution of retries per contended shadow
+	//-word memory action (actions that completed without a retry are
+	// counted by CASClean/CASPublish, not observed here).
+	HistCASRetry HistID = iota
+
+	// NumHists is the number of HistID values; not itself a histogram.
+	NumHists
+)
+
+// histNames are the stable wire names of the histograms.
+var histNames = [NumHists]string{
+	HistCASRetry: "cas.retry",
+}
+
+// String returns the histogram's stable wire name.
+func (h HistID) String() string {
+	if h < NumHists {
+		return histNames[h]
+	}
+	return "hist.unknown"
+}
+
+// HistBuckets is the number of power-of-two buckets per histogram:
+// bucket i counts observations v with 2^i <= v < 2^(i+1) (bucket 0
+// holds v == 1; the last bucket absorbs everything larger).
+const HistBuckets = 8
+
+// HistBucket returns the bucket index for an observed value; values
+// below 1 land in bucket 0.
+func HistBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// cacheLine is the assumed cache-line size for padding.
+const cacheLine = 64
+
+// Shard is one padded block of atomic cells. Writers that share a shard
+// remain correct (the cells are atomic) but may contend; the point of
+// sharding is that writers with distinct shard keys never do.
+type Shard struct {
+	counters [NumCounters]atomic.Int64
+	hists    [NumHists][HistBuckets]atomic.Int64
+	_        [cacheLine]byte // keep the next shard's hot head off our tail line
+}
+
+// Inc adds 1 to counter c. Safe on a nil shard (no-op).
+func (s *Shard) Inc(c Counter) {
+	if s == nil {
+		return
+	}
+	s.counters[c].Add(1)
+}
+
+// Add adds n to counter c. Safe on a nil shard; n == 0 is free.
+func (s *Shard) Add(c Counter, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.counters[c].Add(n)
+}
+
+// Observe records one value into histogram h. Safe on a nil shard.
+func (s *Shard) Observe(h HistID, v int64) {
+	if s == nil {
+		return
+	}
+	s.hists[h][HistBucket(v)].Add(1)
+}
+
+// AddBucket adds n pre-bucketed observations to histogram h; used by
+// producers that batch in task-local space first. Safe on a nil shard.
+func (s *Shard) AddBucket(h HistID, bucket int, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.hists[h][bucket].Add(n)
+}
+
+// Region tallies one instrumented memory region's traffic. Cells are
+// sharded like counters; Inc picks one by the caller's shard key.
+type Region struct {
+	// Name is the label passed to the instrumented container.
+	Name string
+	// Elems is the region's element count.
+	Elems int
+
+	mask  uint32
+	cells []regionCell
+}
+
+// regionCell is a read/write pair padded to a cache line.
+type regionCell struct {
+	reads, writes atomic.Int64
+	_             [cacheLine - 16]byte
+}
+
+// Inc records one access from shard key i. Safe on a nil region.
+func (g *Region) Inc(i int, write bool) {
+	if g == nil {
+		return
+	}
+	c := &g.cells[uint32(i)&g.mask]
+	if write {
+		c.writes.Add(1)
+	} else {
+		c.reads.Add(1)
+	}
+}
+
+// Add records a batch of accesses from shard key i. Safe on a nil
+// region; used by producers that accumulate in task-local space first.
+func (g *Region) Add(i int, reads, writes int64) {
+	if g == nil {
+		return
+	}
+	c := &g.cells[uint32(i)&g.mask]
+	if reads != 0 {
+		c.reads.Add(reads)
+	}
+	if writes != 0 {
+		c.writes.Add(writes)
+	}
+}
+
+// Counts returns the region's merged read and write totals.
+func (g *Region) Counts() (reads, writes int64) {
+	if g == nil {
+		return 0, 0
+	}
+	for i := range g.cells {
+		reads += g.cells[i].reads.Load()
+		writes += g.cells[i].writes.Load()
+	}
+	return reads, writes
+}
+
+// Recorder owns the shards and registered regions of one engine (or one
+// measurement). The zero value is not usable; call New. A nil *Recorder
+// is a valid no-op sink for every method.
+type Recorder struct {
+	shards []Shard
+	mask   uint32
+
+	mu      sync.Mutex
+	regions []*Region
+}
+
+// New returns a recorder with the given shard count rounded up to a
+// power of two; shards <= 0 sizes it for the current GOMAXPROCS.
+func New(shards int) *Recorder {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Recorder{shards: make([]Shard, n), mask: uint32(n - 1)}
+}
+
+// Shards returns the shard count (a power of two).
+func (r *Recorder) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards)
+}
+
+// Shard returns the shard for key i (any cheap stable small integer: a
+// worker index, a task ID). Returns nil on a nil recorder.
+func (r *Recorder) Shard(i int) *Shard {
+	if r == nil {
+		return nil
+	}
+	return &r.shards[uint32(i)&r.mask]
+}
+
+// Region registers a new instrumented region with the recorder and
+// returns its tally. Returns nil (a valid no-op region) on a nil
+// recorder.
+func (r *Recorder) Region(name string, elems int) *Region {
+	if r == nil {
+		return nil
+	}
+	g := &Region{Name: name, Elems: elems, mask: r.mask, cells: make([]regionCell, len(r.shards))}
+	r.mu.Lock()
+	r.regions = append(r.regions, g)
+	r.mu.Unlock()
+	return g
+}
+
+// Reset zeroes every counter, histogram, and region tally while keeping
+// registered regions. It must only be called while no writer is active
+// (the engine calls it at the start of each Run); concurrent increments
+// may be lost, not corrupted.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		for c := range s.counters {
+			s.counters[c].Store(0)
+		}
+		for h := range s.hists {
+			for b := range s.hists[h] {
+				s.hists[h][b].Store(0)
+			}
+		}
+	}
+	r.mu.Lock()
+	regions := append([]*Region(nil), r.regions...)
+	r.mu.Unlock()
+	for _, g := range regions {
+		for i := range g.cells {
+			g.cells[i].reads.Store(0)
+			g.cells[i].writes.Store(0)
+		}
+	}
+}
+
+// Snapshot merges every shard and region into one immutable snapshot.
+// This is the only aggregation point; it is intended to run once per
+// Run, not on the hot path. A nil recorder yields the zero snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		for c := range sh.counters {
+			s.Counters[c] += sh.counters[c].Load()
+		}
+		for b := range sh.hists[HistCASRetry] {
+			s.CASRetryHist[b] += sh.hists[HistCASRetry][b].Load()
+		}
+	}
+	r.mu.Lock()
+	regions := append([]*Region(nil), r.regions...)
+	r.mu.Unlock()
+	s.Regions = make([]RegionSnapshot, 0, len(regions))
+	for _, g := range regions {
+		reads, writes := g.Counts()
+		s.Regions = append(s.Regions, RegionSnapshot{Name: g.Name, Elems: g.Elems, Reads: reads, Writes: writes})
+		s.Reads += reads
+		s.Writes += writes
+	}
+	sort.Slice(s.Regions, func(i, j int) bool {
+		a, b := s.Regions[i], s.Regions[j]
+		ta, tb := a.Reads+a.Writes, b.Reads+b.Writes
+		if ta != tb {
+			return ta > tb
+		}
+		return a.Name < b.Name
+	})
+	return s
+}

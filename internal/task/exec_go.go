@@ -10,6 +10,7 @@ type goExec struct{}
 func (goExec) run(rt *Runtime, main *ptask) {
 	c := &Ctx{rt: rt, t: main.t, fin: main.fin}
 	main.body(c)
+	c.flushRegion()
 }
 
 func (goExec) spawn(c *Ctx, pt *ptask) {

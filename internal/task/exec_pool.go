@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"spd3/internal/sched"
+	"spd3/internal/stats"
 )
 
 // poolExec is the work-stealing executor: a fixed set of workers, each
@@ -30,6 +31,13 @@ type worker struct {
 	p   *poolExec
 	dq  *sched.Deque[ptask]
 	rng uint64
+
+	// nInline and nSteal batch the worker's task-acquisition counters in
+	// plain fields (the deque owner is always exactly one goroutine);
+	// poolExec.run flushes them into the stats recorder after the pool
+	// has quiesced.
+	nInline int64
+	nSteal  int64
 }
 
 func newPoolExec(n int) *poolExec {
@@ -55,11 +63,17 @@ func (p *poolExec) run(rt *Runtime, main *ptask) {
 	w0 := p.workers[0]
 	c := &Ctx{rt: rt, w: w0, t: main.t, fin: main.fin}
 	main.body(c)
+	c.flushRegion()
 	// main.body ends only after the implicit finish drained, so no task
 	// can exist anywhere: shut the pool down.
 	p.done.Store(true)
 	rt.ec.Signal()
 	p.wg.Wait()
+	for _, w := range p.workers {
+		sh := rt.st.Shard(w.id)
+		sh.Add(stats.TaskInline, w.nInline)
+		sh.Add(stats.TaskSteal, w.nSteal)
+	}
 	p.workers = nil
 }
 
@@ -155,9 +169,14 @@ func (w *worker) exec(pt *ptask) {
 // by stealing.
 func (w *worker) find() *ptask {
 	if pt := w.dq.Pop(); pt != nil {
+		w.nInline++
 		return pt
 	}
-	return w.steal()
+	if pt := w.steal(); pt != nil {
+		w.nSteal++
+		return pt
+	}
+	return nil
 }
 
 // steal scans the other workers' deques from a random starting victim.

@@ -1,6 +1,10 @@
 package task
 
-import "fmt"
+import (
+	"fmt"
+
+	"spd3/internal/stats"
+)
 
 // seqExec executes every async inline, immediately and depth-first, the
 // execution model that SP-bags and ESP-bags require (§1: "the parallel
@@ -12,9 +16,11 @@ type seqExec struct{}
 func (seqExec) run(rt *Runtime, main *ptask) {
 	c := &Ctx{rt: rt, t: main.t, fin: main.fin}
 	main.body(c)
+	c.flushRegion()
 }
 
 func (seqExec) spawn(c *Ctx, pt *ptask) {
+	c.rt.st.Shard(c.ShardIndex()).Inc(stats.TaskInline)
 	child := &Ctx{rt: c.rt, t: pt.t, fin: pt.fin}
 	c.rt.runTask(pt, child)
 }
@@ -45,5 +51,6 @@ func (e seqExec) parkFor(c *Ctx, done func() bool) { e.waitFor(c, done) }
 func (rt *Runtime) runTask(pt *ptask, c *Ctx) {
 	defer rt.finishTask(pt)
 	defer rt.capture()
+	defer c.flushRegion()
 	pt.body(c)
 }

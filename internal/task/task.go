@@ -30,14 +30,20 @@ import (
 
 	"spd3/internal/detect"
 	"spd3/internal/sched"
+	"spd3/internal/stats"
 )
 
 // ExecKind selects an executor implementation.
 type ExecKind uint8
 
 const (
-	// Pool is the work-stealing worker pool (the default).
-	Pool ExecKind = iota
+	// Auto (the zero value) lets New pick: Sequential when the detector
+	// requires it, Pool otherwise. Because Auto is distinguishable from
+	// an explicit choice, New can reject an explicit executor the
+	// detector cannot run under instead of silently overriding it.
+	Auto ExecKind = iota
+	// Pool is the work-stealing worker pool (the parallel default).
+	Pool
 	// Goroutines runs one goroutine per task.
 	Goroutines
 	// Sequential executes asyncs inline, depth-first left-to-right.
@@ -46,6 +52,8 @@ const (
 
 func (k ExecKind) String() string {
 	switch k {
+	case Auto:
+		return "auto"
 	case Pool:
 		return "pool"
 	case Goroutines:
@@ -72,6 +80,9 @@ type Config struct {
 	// carry file:line for the access that completed the race. Costs
 	// roughly a stack-walk frame per access; off by default.
 	CaptureSites bool
+	// Stats is the observability recorder the runtime (and the
+	// instrumented containers) report into; nil disables the counters.
+	Stats *stats.Recorder
 }
 
 // Runtime executes async/finish programs and drives a detector.
@@ -80,6 +91,7 @@ type Runtime struct {
 	det  detect.Detector
 	exec executor
 	ec   *sched.EventCount
+	st   *stats.Recorder
 
 	taskIDs   atomic.Int64
 	finishIDs atomic.Int64
@@ -99,11 +111,18 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Detector == nil {
 		cfg.Detector = detect.Nop{}
 	}
+	if cfg.Executor == Auto {
+		if cfg.Detector.RequiresSequential() {
+			cfg.Executor = Sequential
+		} else {
+			cfg.Executor = Pool
+		}
+	}
 	if cfg.Detector.RequiresSequential() && cfg.Executor != Sequential {
 		return nil, fmt.Errorf("task: detector %q requires the sequential executor (got %s)",
 			cfg.Detector.Name(), cfg.Executor)
 	}
-	rt := &Runtime{cfg: cfg, det: cfg.Detector, ec: sched.NewEventCount()}
+	rt := &Runtime{cfg: cfg, det: cfg.Detector, ec: sched.NewEventCount(), st: cfg.Stats}
 	switch cfg.Executor {
 	case Pool:
 		rt.exec = newPoolExec(cfg.Workers)
@@ -119,6 +138,12 @@ func New(cfg Config) (*Runtime, error) {
 
 // Detector returns the detector driven by this runtime.
 func (rt *Runtime) Detector() detect.Detector { return rt.det }
+
+// Stats returns the runtime's observability recorder (nil when disabled).
+func (rt *Runtime) Stats() *stats.Recorder { return rt.st }
+
+// Executor returns the resolved executor kind (never Auto).
+func (rt *Runtime) Executor() ExecKind { return rt.cfg.Executor }
 
 // Workers returns the configured worker count.
 func (rt *Runtime) Workers() int { return rt.cfg.Workers }
@@ -194,6 +219,13 @@ type Ctx struct {
 	w   *worker // executing worker; nil outside the pool executor
 	t   *detect.Task
 	fin *scope // innermost active finish scope (the task's current IEF)
+
+	// Region-traffic batch (see CountAccess): counts against reg
+	// accumulate in plain task-owned integers and reach the sharded
+	// recorder only when the task switches regions or ends, so tight
+	// loops over one container pay no atomics.
+	reg                 *stats.Region
+	regReads, regWrites int64
 }
 
 // Task returns the runtime record of the current task.
@@ -212,6 +244,43 @@ func (c *Ctx) WorkerID() int {
 // Runtime returns the owning runtime.
 func (c *Ctx) Runtime() *Runtime { return c.rt }
 
+// ShardIndex returns a cheap stable stats shard key for work done by the
+// current task: the executing pool worker's index, or the task ID under
+// the other executors. Distinct concurrent writers thus land on distinct
+// shards (pool workers) or spread by task (goroutines).
+func (c *Ctx) ShardIndex() int {
+	if c.w != nil {
+		return c.w.id
+	}
+	return int(c.t.ID)
+}
+
+// CountAccess records one instrumented read or write against region g
+// (nil g — stats disabled — is a no-op). Counts are batched per task and
+// flushed on region switch and at task end.
+func (c *Ctx) CountAccess(g *stats.Region, write bool) {
+	if g == nil {
+		return
+	}
+	if g != c.reg {
+		c.flushRegion()
+		c.reg = g
+	}
+	if write {
+		c.regWrites++
+	} else {
+		c.regReads++
+	}
+}
+
+// flushRegion publishes the batched region counts, if any.
+func (c *Ctx) flushRegion() {
+	if c.reg != nil && c.regReads|c.regWrites != 0 {
+		c.reg.Add(c.ShardIndex(), c.regReads, c.regWrites)
+	}
+	c.regReads, c.regWrites = 0, 0
+}
+
 // Async spawns body as a new child task. The child may run before, after,
 // or in parallel with the remainder of the parent (§2); it is joined at
 // the end of the innermost enclosing finish.
@@ -224,6 +293,7 @@ func (c *Ctx) Async(body func(*Ctx)) {
 		Depth:  c.t.Depth + 1,
 	}
 	rt.det.BeforeSpawn(c.t, child)
+	rt.st.Shard(c.ShardIndex()).Inc(stats.TaskSpawn)
 	c.fin.pending.Add(1)
 	rt.exec.spawn(c, &ptask{body: body, t: child, fin: c.fin})
 }

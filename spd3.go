@@ -34,16 +34,12 @@
 package spd3
 
 import (
-	"fmt"
 	"time"
 
-	"spd3/internal/core"
 	"spd3/internal/detect"
-	"spd3/internal/eraser"
-	"spd3/internal/espbags"
-	"spd3/internal/fasttrack"
+	_ "spd3/internal/detectors" // register every detector implementation
 	"spd3/internal/mem"
-	"spd3/internal/oslabel"
+	"spd3/internal/stats"
 	"spd3/internal/task"
 )
 
@@ -84,6 +80,9 @@ type Executor = task.ExecKind
 
 // Executors.
 const (
+	// Auto (the default) lets the engine pick: Sequential when the
+	// detector requires it (ESPBags), Pool otherwise.
+	Auto = task.Auto
 	// Pool schedules tasks on a fixed work-stealing worker pool.
 	Pool = task.Pool
 	// Goroutines runs one goroutine per task.
@@ -118,17 +117,36 @@ const (
 	OSLabel Detector = "oslabel"
 )
 
-// Detectors lists every supported detector kind.
+// Detectors lists every registered detector kind, sorted by name. The
+// list comes from the detect registry, so detectors added by a new
+// algorithm package (one file with an init-time detect.Register call)
+// appear here, in the harness tables, and in the cmd tools without
+// further wiring.
 func Detectors() []Detector {
-	return []Detector{None, SPD3, SPD3Mutex, ESPBags, FastTrack, Eraser, OSLabel}
+	names := detect.Names()
+	out := make([]Detector, len(names))
+	for i, n := range names {
+		out[i] = Detector(n)
+	}
+	return out
 }
+
+// Stats is the merged observability snapshot of one Run: shadow-protocol
+// outcomes (CAS clean/publish/retry, mutex ops), DMHP fast-path vs walk
+// vs memo-hit counts, task spawn/steal/inline counts, per-region
+// read/write traffic, and the detector's memory footprint. It has a
+// stable String() one-liner, a Map() of wire-named scalars, and a JSON
+// form (see stats.Snapshot).
+type Stats = stats.Snapshot
 
 // Options configures an Engine.
 type Options struct {
 	// Workers is the pool size (Pool executor only). Zero means 1.
 	Workers int
-	// Executor selects the scheduling strategy; default Pool
-	// (Sequential when Detector is ESPBags).
+	// Executor selects the scheduling strategy. The default, Auto,
+	// resolves to Pool — or Sequential when the detector requires it
+	// (ESPBags). Explicitly selecting an executor the detector cannot
+	// run under is an error.
 	Executor Executor
 	// Detector selects the algorithm; default SPD3.
 	Detector Detector
@@ -138,64 +156,82 @@ type Options struct {
 	HaltOnFirstRace bool
 	// MaxRaces caps recorded races in log mode (default 1024).
 	MaxRaces int
+	// OnRace, when non-nil, streams each distinct race to the callback
+	// instead of buffering it in Report.Races, so arbitrarily long runs
+	// never accumulate reports (and MaxRaces does not apply). Returning
+	// true halts detection like HaltOnFirstRace does after the first
+	// race. The callback runs on the reporting task's goroutine and may
+	// be invoked concurrently for distinct races.
+	OnRace func(Race) (halt bool)
 	// CaptureSites attaches the file:line of the access completing a
 	// race to the report (supported by the SPD3 detectors). Costs one
 	// runtime.Caller per instrumented access; off by default.
 	CaptureSites bool
+	// NoStats disables the observability counters (Report.Stats becomes
+	// a zero snapshot except for Footprint). Counters are on by default
+	// and near-free — hot producers batch in task-local integers and the
+	// merge happens once per Run — so this exists mainly to measure that
+	// claim (the ablation-dmhp benchmark runs both ways).
+	NoStats bool
 }
 
-// Engine couples a task runtime with a detector and a race sink.
+// Engine couples a task runtime with a detector, a race sink, and a
+// stats recorder.
 type Engine struct {
 	rt   *task.Runtime
 	det  detect.Detector
 	sink *detect.Sink
+	rec  *stats.Recorder
 }
 
-// New validates opts and builds an Engine.
+// New validates opts and builds an Engine. The detector is constructed
+// through the detect registry, so any registered name — including hidden
+// ablation variants — is accepted.
 func New(opts Options) (*Engine, error) {
 	if opts.Detector == "" {
 		opts.Detector = SPD3
 	}
 	sink := detect.NewSink(opts.HaltOnFirstRace, opts.MaxRaces)
-	var det detect.Detector
-	switch opts.Detector {
-	case None:
-		det = detect.Nop{}
-	case SPD3:
-		det = core.New(sink, core.SyncCAS)
-	case SPD3Mutex:
-		det = core.New(sink, core.SyncMutex)
-	case ESPBags:
-		det = espbags.New(sink)
-		opts.Executor = Sequential
-	case FastTrack:
-		det = fasttrack.New(sink)
-	case Eraser:
-		det = eraser.New(sink)
-	case OSLabel:
-		det = oslabel.New(sink)
-	default:
-		return nil, fmt.Errorf("spd3: unknown detector %q", opts.Detector)
+	var rec *stats.Recorder
+	if !opts.NoStats {
+		rec = stats.New(0)
+		sink.SetStats(rec.Shard(0))
+	}
+	if opts.OnRace != nil {
+		sink.SetOnRace(opts.OnRace)
+	}
+	det, err := detect.New(string(opts.Detector), detect.FactoryOpts{Sink: sink, Stats: rec})
+	if err != nil {
+		return nil, err
 	}
 	rt, err := task.New(task.Config{
 		Workers:      opts.Workers,
 		Executor:     opts.Executor,
 		Detector:     det,
 		CaptureSites: opts.CaptureSites,
+		Stats:        rec,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{rt: rt, det: det, sink: sink}, nil
+	return &Engine{rt: rt, det: det, sink: sink, rec: rec}, nil
 }
 
 // Report summarizes one Run.
 type Report struct {
-	// Races holds the detected races, sorted by location.
+	// Races holds the detected races, sorted by location. Empty when
+	// Options.OnRace streamed them instead.
 	Races []Race
 	// Truncated is set when the race limit was hit.
 	Truncated bool
+	// Stats is the run's merged observability snapshot (zero except for
+	// Stats.Footprint when Options.NoStats is set).
+	Stats Stats
 	// Footprint is the detector's memory accounting after the run.
+	//
+	// Deprecated: use Stats.Footprint, which carries the same value
+	// inside the run's snapshot. This field remains populated so
+	// existing callers keep working.
 	Footprint Footprint
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
@@ -203,6 +239,8 @@ type Report struct {
 
 // RaceFree reports whether the run observed no races. For the SPD3 and
 // ESPBags detectors this certifies that no schedule of this input races.
+// With Options.OnRace set, races are streamed rather than buffered and
+// the callback — not this predicate — is the authority.
 func (r *Report) RaceFree() bool { return len(r.Races) == 0 }
 
 // Run executes root as the main task under the implicit top-level finish
@@ -216,13 +254,18 @@ func (r *Report) RaceFree() bool { return len(r.Races) == 0 }
 // an earlier run are suppressed).
 func (e *Engine) Run(root func(*Ctx)) (*Report, error) {
 	mark := e.sink.Mark()
+	e.rec.Reset()
 	start := time.Now()
 	err := e.rt.Run(root)
+	elapsed := time.Since(start)
+	snap := e.rec.Snapshot()
+	snap.Footprint = e.det.Footprint()
 	rep := &Report{
 		Races:     e.sink.RacesSince(mark),
 		Truncated: e.sink.Capped(),
-		Footprint: e.det.Footprint(),
-		Duration:  time.Since(start),
+		Stats:     snap,
+		Footprint: snap.Footprint,
+		Duration:  elapsed,
 	}
 	return rep, err
 }

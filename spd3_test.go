@@ -135,11 +135,20 @@ func TestHaltOnFirstRace(t *testing.T) {
 	}
 }
 
-func TestESPBagsForcedSequential(t *testing.T) {
-	// Pairing ESPBags with the pool executor must be corrected
-	// automatically rather than rejected: the facade switches to
-	// sequential execution.
-	eng, err := spd3.New(spd3.Options{Workers: 8, Executor: spd3.Pool, Detector: spd3.ESPBags})
+func TestESPBagsExecutorResolution(t *testing.T) {
+	// Explicitly pairing ESPBags with a parallel executor is an error —
+	// the engine no longer silently overrides the caller's choice.
+	_, err := spd3.New(spd3.Options{Workers: 8, Executor: spd3.Pool, Detector: spd3.ESPBags})
+	if err == nil {
+		t.Fatal("ESPBags with explicit Pool executor accepted")
+	}
+	if !strings.Contains(err.Error(), "sequential") {
+		t.Fatalf("error does not explain the executor requirement: %v", err)
+	}
+
+	// Leaving the executor at the default (Auto) resolves to Sequential
+	// and the detector works.
+	eng, err := spd3.New(spd3.Options{Workers: 8, Detector: spd3.ESPBags})
 	if err != nil {
 		t.Fatal(err)
 	}
