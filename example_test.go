@@ -96,7 +96,7 @@ func ExampleRunCilk() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(out.Raw()[0], report.RaceFree())
+	fmt.Println(out.Unchecked()[0], report.RaceFree())
 	// Output: 42 true
 }
 
@@ -118,6 +118,6 @@ func ExampleCtx_ParallelFor() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(squares.Raw())
+	fmt.Println(squares.Unchecked())
 	// Output: [0 1 4 9 16 25]
 }

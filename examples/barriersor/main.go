@@ -53,7 +53,7 @@ func run(det spd3.Detector, finishStyle bool) (int, error) {
 		return 0, err
 	}
 	g := spd3.NewMatrix[float64](eng, "G", size, size)
-	for i, raw := 0, g.Raw(); i < len(raw); i++ {
+	for i, raw := 0, g.Unchecked(); i < len(raw); i++ {
 		raw[i] = float64(i%13) * 1e-5
 	}
 

@@ -99,7 +99,7 @@ func main() {
 	}
 
 	total := 0
-	for _, v := range treated.Raw() {
+	for _, v := range treated.Unchecked() {
 		total += v
 	}
 	fmt.Printf("villages: %d  steps: %d  treated: %d  time: %v\n",

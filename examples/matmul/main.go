@@ -42,10 +42,10 @@ func multiply(det spd3.Detector, n, workers int, chunked bool) (string, int, err
 	a := spd3.NewMatrix[float64](eng, "A", n, n)
 	b := spd3.NewMatrix[float64](eng, "B", n, n)
 	cm := spd3.NewMatrix[float64](eng, "C", n, n)
-	for i, raw := 0, a.Raw(); i < len(raw); i++ {
+	for i, raw := 0, a.Unchecked(); i < len(raw); i++ {
 		raw[i] = float64(i%7) - 3
 	}
-	for i, raw := 0, b.Raw(); i < len(raw); i++ {
+	for i, raw := 0, b.Unchecked(); i < len(raw); i++ {
 		raw[i] = float64(i%5) - 2
 	}
 

@@ -38,7 +38,7 @@ func main() {
 	}
 
 	total := 0
-	for _, v := range counts.Raw() {
+	for _, v := range counts.Unchecked() {
 		total += v
 	}
 	fmt.Printf("%d-queens solutions: %d (found in %v)\n", *n, total, report.Duration)

@@ -35,7 +35,7 @@ func runCrypt(rt *task.Runtime, in Input) (float64, error) {
 	dk := mem.NewArray[uint16](rt, "crypt.DK", 52)
 
 	r := newRNG(23)
-	for i, raw := 0, plain1.Raw(); i < len(raw); i++ {
+	for i, raw := 0, plain1.Unchecked(); i < len(raw); i++ {
 		raw[i] = byte(r.intn(256))
 	}
 	var userKey [8]uint16
@@ -43,9 +43,9 @@ func runCrypt(rt *task.Runtime, in Input) (float64, error) {
 		userKey[i] = uint16(r.intn(1 << 16))
 	}
 	enc := ideaEncryptionKey(userKey)
-	copy(z.Raw(), enc[:])
+	copy(z.Unchecked(), enc[:])
 	dec := ideaDecryptionKey(enc)
-	copy(dk.Raw(), dec[:])
+	copy(dk.Unchecked(), dec[:])
 
 	blocks := n / 8
 	err := rt.Run(func(c *task.Ctx) {
@@ -59,13 +59,13 @@ func runCrypt(rt *task.Runtime, in Input) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	p1, p2 := plain1.Raw(), plain2.Raw()
+	p1, p2 := plain1.Unchecked(), plain2.Unchecked()
 	sum := 0.0
 	for i := range p1 {
 		if p1[i] != p2[i] {
 			return 0, fmt.Errorf("crypt: decrypt mismatch at byte %d: %d != %d", i, p2[i], p1[i])
 		}
-		sum += float64(crypt1.Raw()[i])
+		sum += float64(crypt1.Unchecked()[i])
 	}
 	return sum, nil
 }

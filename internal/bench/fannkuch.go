@@ -37,7 +37,7 @@ func runFannkuch(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	best := 0
-	for _, v := range maxima.Raw() {
+	for _, v := range maxima.Unchecked() {
 		if v > best {
 			best = v
 		}

@@ -35,7 +35,7 @@ func runFFT(rt *task.Runtime, in Input) (float64, error) {
 		orig[2*i] = r.float64() - 0.5
 		orig[2*i+1] = r.float64() - 0.5
 	}
-	reRaw, imRaw := re.Raw(), im.Raw()
+	reRaw, imRaw := re.Unchecked(), im.Unchecked()
 	for i := 0; i < n; i++ {
 		reRaw[i] = orig[2*i]
 		imRaw[i] = orig[2*i+1]

@@ -99,10 +99,10 @@ func runHealth(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range treated.Raw() {
+	for _, v := range treated.Unchecked() {
 		sum += float64(v)
 	}
-	for _, v := range waiting.Raw() {
+	for _, v := range waiting.Unchecked() {
 		sum += float64(v)
 	}
 	return sum, nil

@@ -44,8 +44,8 @@ func runLUFact(rt *task.Runtime, in Input) (float64, error) {
 		a0[i*n+i] += float64(n) // diagonally dominant
 		b0[i] = r.float64()
 	}
-	copy(a.Raw(), a0)
-	copy(b.Raw(), b0)
+	copy(a.Unchecked(), a0)
+	copy(b.Unchecked(), b0)
 
 	err := rt.Run(func(c *task.Ctx) {
 		for k := 0; k < n-1; k++ {
@@ -98,7 +98,7 @@ func runLUFact(rt *task.Runtime, in Input) (float64, error) {
 	}
 
 	// Residual check against the pristine system.
-	x := b.Raw()
+	x := b.Unchecked()
 	worst := 0.0
 	for i := 0; i < n; i++ {
 		s := -b0[i]

@@ -45,7 +45,7 @@ func runMandelbrot(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range img.Raw() {
+	for _, v := range img.Unchecked() {
 		sum += float64(v)
 	}
 	return sum, nil

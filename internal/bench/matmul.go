@@ -26,10 +26,10 @@ func runMatmul(rt *task.Runtime, in Input) (float64, error) {
 	cm := mem.NewMatrix[float64](rt, "matmul.C", n, n)
 
 	r := newRNG(11)
-	for i, raw := 0, a.Raw(); i < len(raw); i++ {
+	for i, raw := 0, a.Unchecked(); i < len(raw); i++ {
 		raw[i] = r.float64()
 	}
-	for i, raw := 0, b.Raw(); i < len(raw); i++ {
+	for i, raw := 0, b.Unchecked(); i < len(raw); i++ {
 		raw[i] = r.float64()
 	}
 
@@ -48,7 +48,7 @@ func runMatmul(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range cm.Raw() {
+	for _, v := range cm.Unchecked() {
 		sum += v
 	}
 	return sum, nil

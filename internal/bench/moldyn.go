@@ -40,7 +40,7 @@ func runMolDyn(rt *task.Runtime, in Input) (float64, error) {
 	// Initial FCC-ish lattice with small random velocities.
 	r := newRNG(67)
 	side := int(math.Ceil(math.Cbrt(float64(n))))
-	pr, vr := pos.Raw(), vel.Raw()
+	pr, vr := pos.Unchecked(), vel.Unchecked()
 	for i := 0; i < n; i++ {
 		pr[3*i+0] = float64(i%side) + 0.3*r.float64()
 		pr[3*i+1] = float64((i/side)%side) + 0.3*r.float64()
@@ -94,7 +94,7 @@ func runMolDyn(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range pos.Raw() {
+	for _, v := range pos.Unchecked() {
 		sum += v
 	}
 	return sum, nil

@@ -32,7 +32,7 @@ func runMonteCarlo(rt *task.Runtime, in Input) (float64, error) {
 	params := mem.NewArray[float64](rt, "mc.params", 4)
 	results := mem.NewArray[float64](rt, "mc.results", paths)
 
-	copy(params.Raw(), []float64{100.0 /* S0 */, 0.03 /* mu */, 0.2 /* sigma */, 1.0 / 252 /* dt */})
+	copy(params.Unchecked(), []float64{100.0 /* S0 */, 0.03 /* mu */, 0.2 /* sigma */, 1.0 / 252 /* dt */})
 
 	err := rt.Run(func(c *task.Ctx) {
 		c.ParallelFor(0, paths, in.grain(c, paths), func(c *task.Ctx, p int) {
@@ -59,5 +59,5 @@ func runMonteCarlo(rt *task.Runtime, in Input) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return params.Raw()[0], nil
+	return params.Unchecked()[0], nil
 }

@@ -54,7 +54,7 @@ func runNQueens(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	total := 0
-	for _, v := range counts.Raw() {
+	for _, v := range counts.Unchecked() {
 		total += v
 	}
 	return float64(total), nil

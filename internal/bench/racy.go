@@ -67,7 +67,7 @@ func runRacyMonteCarlo(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range results.Raw() {
+	for _, v := range results.Unchecked() {
 		sum += v
 	}
 	return sum, nil
@@ -91,7 +91,7 @@ func runBarrierSOR(rt *task.Runtime, in Input) (float64, error) {
 	const omega = 1.25
 	g := mem.NewMatrix[float64](rt, "barriersor.G", n, n)
 	r := newRNG(7)
-	raw := g.Raw()
+	raw := g.Unchecked()
 	for i := range raw {
 		raw[i] = r.float64() * 1e-5
 	}
@@ -126,7 +126,7 @@ func runBarrierSOR(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range g.Raw() {
+	for _, v := range g.Unchecked() {
 		sum += v
 	}
 	return sum, nil
@@ -158,7 +158,7 @@ func runBuggyBarrier(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range flags.Raw() {
+	for _, v := range flags.Unchecked() {
 		sum += float64(v)
 	}
 	return sum, nil

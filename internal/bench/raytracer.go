@@ -34,7 +34,7 @@ func runRayTracer(rt *task.Runtime, in Input) (float64, error) {
 	img := mem.NewMatrix[float64](rt, "ray.img", side, side)
 
 	r := newRNG(73)
-	sr := scene.Raw()
+	sr := scene.Unchecked()
 	for s := 0; s < nSpheres; s++ {
 		sr[s*sphereFields+0] = 8 * (r.float64() - 0.5) // cx
 		sr[s*sphereFields+1] = 8 * (r.float64() - 0.5) // cy
@@ -61,7 +61,7 @@ func runRayTracer(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range img.Raw() {
+	for _, v := range img.Unchecked() {
 		sum += v
 	}
 	return sum, nil

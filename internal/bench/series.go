@@ -39,7 +39,7 @@ func runSeries(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range test.Raw() {
+	for _, v := range test.Unchecked() {
 		sum += v
 	}
 	return sum, nil

@@ -31,7 +31,7 @@ func runSOR(rt *task.Runtime, in Input) (float64, error) {
 	// Deterministic initial grid (raw: built by the main task before
 	// any parallelism — the paper's main-task check elimination).
 	r := newRNG(7)
-	raw := g.Raw()
+	raw := g.Unchecked()
 	for i := range raw {
 		raw[i] = r.float64() * 1e-5
 	}
@@ -57,7 +57,7 @@ func runSOR(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range g.Raw() {
+	for _, v := range g.Unchecked() {
 		sum += v
 	}
 	return sum, nil

@@ -33,8 +33,8 @@ func runSparse(rt *task.Runtime, in Input) (float64, error) {
 	y := mem.NewArray[float64](rt, "sparse.y", n)
 
 	r := newRNG(41)
-	cr := cols.Raw()
-	vr := vals.Raw()
+	cr := cols.Unchecked()
+	vr := vals.Unchecked()
 	for row := 0; row < n; row++ {
 		base := row * perRow
 		seen := map[int]bool{}
@@ -51,7 +51,7 @@ func runSparse(rt *task.Runtime, in Input) (float64, error) {
 			vr[base+k] = r.float64() - 0.5
 		}
 	}
-	for i, raw := 0, x.Raw(); i < len(raw); i++ {
+	for i, raw := 0, x.Unchecked(); i < len(raw); i++ {
 		raw[i] = r.float64()
 	}
 
@@ -71,7 +71,7 @@ func runSparse(rt *task.Runtime, in Input) (float64, error) {
 		return 0, err
 	}
 	sum := 0.0
-	for _, v := range y.Raw() {
+	for _, v := range y.Unchecked() {
 		sum += v
 	}
 	return sum, nil

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"spd3/internal/mem"
+	"spd3/internal/task"
+)
+
+// SparseTouchBench is the sparse-shadow workload behind the harness
+// "sparse" experiment: a large instrumented array of which only ~1% of
+// the shadow pages are ever touched, in page-sized clusters. Under the
+// paged shadow the footprint is proportional to the touched clusters;
+// a flat shadow pays for every declared element up front.
+//
+// It is deliberately NOT in the Table 1 registry — the suite there is
+// pinned to the paper's 15 benchmarks — but follows the same contract
+// (self-validating checksum).
+func SparseTouchBench() *Benchmark {
+	return &Benchmark{
+		Name:   "SparseTouch",
+		Source: "paging",
+		Desc:   "clustered 1% touches of a large region",
+		Args:   "(10M)",
+		Run:    runSparseTouch,
+	}
+}
+
+// sparseClusterCells matches the shadow page size (shadow.PageSize) so
+// one cluster materializes exactly one page; kept as a literal to avoid
+// coupling the workload to the shadow package.
+const sparseClusterCells = 4096
+
+// runSparseTouch writes page-sized clusters spread across a 10M-element
+// array so that roughly 1% of its shadow pages materialize. Clusters are
+// disjoint and owned by one task each, so the run is race-free.
+func runSparseTouch(rt *task.Runtime, in Input) (float64, error) {
+	n := in.scaled(10_000_000, 1<<16)
+	clusters := n / sparseClusterCells / 100 // ~1% of the pages
+	if clusters < 2 {
+		clusters = 2
+	}
+	stride := n / clusters
+
+	a := mem.NewArray[int64](rt, "sparsetouch.a", n)
+
+	err := rt.Run(func(c *task.Ctx) {
+		c.ParallelFor(0, clusters, in.grain(c, clusters), func(c *task.Ctx, k int) {
+			// Page-align the cluster so it costs exactly one page.
+			base := (k * stride) &^ (sparseClusterCells - 1)
+			for i := 0; i < sparseClusterCells && base+i < n; i++ {
+				a.Set(c, base+i, int64(k+1))
+			}
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	var sum, want float64
+	for _, v := range a.Unchecked() {
+		sum += float64(v)
+	}
+	for k := 0; k < clusters; k++ {
+		base := (k * stride) &^ (sparseClusterCells - 1)
+		cells := sparseClusterCells
+		if base+cells > n {
+			cells = n - base
+		}
+		want += float64(k+1) * float64(cells)
+	}
+	if sum != want {
+		return 0, fmt.Errorf("sparsetouch: checksum %v, want %v", sum, want)
+	}
+	return sum, nil
+}

@@ -51,10 +51,10 @@ func runStrassen(rt *task.Runtime, in Input) (float64, error) {
 	cm := mem.NewMatrix[float64](rt, "strassen.C", n, n)
 
 	r := newRNG(83)
-	for i, raw := 0, a.Raw(); i < len(raw); i++ {
+	for i, raw := 0, a.Unchecked(); i < len(raw); i++ {
 		raw[i] = r.float64() - 0.5
 	}
-	for i, raw := 0, b.Raw(); i < len(raw); i++ {
+	for i, raw := 0, b.Unchecked(); i < len(raw); i++ {
 		raw[i] = r.float64() - 0.5
 	}
 
@@ -66,7 +66,7 @@ func runStrassen(rt *task.Runtime, in Input) (float64, error) {
 	}
 
 	// Validate against the naive product on the raw data.
-	ar, br, cr := a.Raw(), b.Raw(), cm.Raw()
+	ar, br, cr := a.Unchecked(), b.Unchecked(), cm.Unchecked()
 	worst, sum := 0.0, 0.0
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {

@@ -19,7 +19,7 @@ func shadowAtDepth(b *testing.B, mode SyncMode, depth int,
 	if err != nil {
 		b.Fatal(err)
 	}
-	sh := d.NewShadow("x", 64, 8)
+	sh := d.NewShadow(detect.Spec("x", 64, 8))
 	var nest func(c *task.Ctx, left int)
 	nest = func(c *task.Ctx, left int) {
 		if left == 0 {
@@ -111,4 +111,74 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkShadowSparse is the paged-shadow evaluation grid: dense vs
+// clustered-sparse access patterns crossed with the paged backend vs the
+// flat ablation, on one large region. Each sub-benchmark pre-touches its
+// full pattern (materializing the footprint), reports the resulting
+// shadow bytes as a metric, then times steady-state writes over the
+// pattern. The claims under test: on the sparse pattern the paged shadow
+// costs a small fraction of the flat one (only touched pages exist), and
+// on the dense pattern the paged overhead is marginal.
+func BenchmarkShadowSparse(b *testing.B) {
+	const (
+		elems     = 10_000_000
+		pageCells = 4096 // shadow.PageSize
+	)
+	// Clustered sparse pattern: ~1% of the pages, one full page per
+	// cluster. A uniform-random 1% of *elements* would touch every page
+	// and show no paging benefit — sparseness that pays is page-granular.
+	sparseIdx := func() []int {
+		clusters := elems / pageCells / 100
+		stride := elems / clusters
+		idxs := make([]int, 0, clusters*pageCells)
+		for k := 0; k < clusters; k++ {
+			base := (k * stride) &^ (pageCells - 1)
+			for i := 0; i < pageCells; i++ {
+				idxs = append(idxs, base+i)
+			}
+		}
+		return idxs
+	}
+	denseIdx := func() []int {
+		idxs := make([]int, elems)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs
+	}
+	for _, backend := range []struct {
+		name string
+		flat bool
+	}{{"paged", false}, {"flat", true}} {
+		for _, pattern := range []struct {
+			name string
+			idxs func() []int
+		}{{"dense", denseIdx}, {"sparse", sparseIdx}} {
+			b.Run(backend.name+"/"+pattern.name, func(b *testing.B) {
+				sink := detect.NewSink(false, 0)
+				d := NewWith(sink, Options{Sync: SyncCAS, FlatShadow: backend.flat})
+				rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sh := d.NewShadow(detect.Spec("x", elems, 8))
+				idxs := pattern.idxs()
+				if err := rt.Run(func(c *task.Ctx) {
+					t := c.Task()
+					for _, i := range idxs {
+						sh.Write(t, i)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						sh.Write(t, idxs[i%len(idxs)])
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Footprint().ShadowBytes), "shadow-B")
+			})
+		}
+	}
 }

@@ -12,6 +12,7 @@ func init() {
 	detect.RegisterVariant("spd3-stepcache", factory(Options{Sync: SyncCAS, StepCache: true}))
 	detect.RegisterVariant("spd3-walk", factory(Options{Sync: SyncCAS, NoFingerprint: true, NoDMHPMemo: true}))
 	detect.RegisterVariant("spd3-fp", factory(Options{Sync: SyncCAS, NoDMHPMemo: true}))
+	detect.RegisterVariant("spd3-flat", factory(Options{Sync: SyncCAS, FlatShadow: true}))
 }
 
 func factory(o Options) detect.Factory {

@@ -5,6 +5,7 @@ import (
 
 	"spd3/internal/detect"
 	"spd3/internal/dpst"
+	"spd3/internal/shadow"
 	"spd3/internal/stats"
 )
 
@@ -27,11 +28,24 @@ import (
 //
 // Note the counter roles: an updater bumps end first and start last, so a
 // torn snapshot always fails the end != x comparison.
+// Shadow words live in lazily allocated pages (shadow.Pages) resolved
+// through the accessing task's page cache; the flat ablation
+// (Options.FlatShadow) restores the eager flat array for comparison.
 type casShadow struct {
 	d     *Detector
 	id    uint64
 	name  string
-	cells []casCell
+	pages *shadow.Pages[casCell] // nil under the flat ablation
+	flat  []casCell              // non-nil iff Options.FlatShadow
+}
+
+// cell resolves element i's shadow word: through the task's page cache
+// on the paged backend, a plain index on the flat ablation.
+func (s *casShadow) cell(t *detect.Task, i int) *casCell {
+	if s.flat != nil {
+		return &s.flat[i]
+	}
+	return s.pages.CellOf(&t.PC, i)
 }
 
 // casCell is one versioned shadow word.
@@ -85,7 +99,7 @@ func (s *casShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 			return
 		}
 	}
-	c := &s.cells[i]
+	c := s.cell(t, i)
 	var retries int64
 	for {
 		x, m := c.snapshot()
@@ -121,7 +135,7 @@ func (s *casShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 			return
 		}
 	}
-	c := &s.cells[i]
+	c := s.cell(t, i)
 	var retries int64
 	for {
 		x, m := c.snapshot()

@@ -37,6 +37,7 @@ import (
 
 	"spd3/internal/detect"
 	"spd3/internal/dpst"
+	"spd3/internal/shadow"
 	"spd3/internal/stats"
 )
 
@@ -77,6 +78,12 @@ type Options struct {
 	// NoDMHPMemo disables the per-task DMHP relation cache (see
 	// taskState.mhp). On by default; disable for ablation.
 	NoDMHPMemo bool
+	// FlatShadow restores the pre-paging layout: one eagerly allocated
+	// flat cell array per region, no page table, no page cache. It
+	// exists for the flat-vs-paged ablation (the spd3-flat variant and
+	// BenchmarkShadowSparse) and for differential testing; flat shadows
+	// cannot serve growable regions (NewShadow panics on one).
+	FlatShadow bool
 	// Stats is the engine's observability recorder; nil disables the
 	// detector's counters. The detector batches its counts in plain
 	// task-owned integers and flushes them into a shard once per task
@@ -94,6 +101,7 @@ type Detector struct {
 	stepCache bool
 	walkOnly  bool // Options.NoFingerprint
 	memo      bool // !Options.NoDMHPMemo
+	flat      bool // Options.FlatShadow
 	st        *stats.Recorder
 
 	shadowIDs   detect.Counter
@@ -115,6 +123,7 @@ func NewWith(sink *detect.Sink, o Options) *Detector {
 		stepCache: o.StepCache,
 		walkOnly:  o.NoFingerprint,
 		memo:      !o.NoDMHPMemo,
+		flat:      o.FlatShadow,
 		st:        o.Stats,
 	}
 }
@@ -375,18 +384,49 @@ func (d *Detector) Footprint() detect.Footprint {
 	}
 }
 
-// NewShadow allocates one shadow word per element.
-func (d *Detector) NewShadow(name string, n, elemBytes int) detect.Shadow {
+// NewShadow builds the region's shadow: one word per element, held in
+// lazily allocated pages (shadow.Pages), so a sparsely touched region
+// pays only for the pages it touches. Under Options.FlatShadow the
+// pre-paging eager flat array is restored for ablation; flat shadows
+// reject growable regions.
+func (d *Detector) NewShadow(spec detect.ShadowSpec) detect.Shadow {
 	id := uint64(d.shadowIDs.Add(1))
+	if d.flat && spec.Growable {
+		panic("core: FlatShadow cannot serve growable region " + spec.Name)
+	}
 	switch d.mode {
 	case SyncMutex:
-		s := &mutexShadow{d: d, id: id, name: name, cells: make([]mutexCell, n)}
-		d.shadowBytes.Add(int64(n) * mutexCellBytes)
+		s := &mutexShadow{d: d, id: id, name: spec.Name}
+		if d.flat {
+			s.flat = make([]mutexCell, spec.Len)
+			d.shadowBytes.Add(int64(spec.Len) * mutexCellBytes)
+		} else {
+			s.pages = shadow.New[mutexCell](spec.Bound())
+			s.pages.SetOnAlloc(d.pageAlloc(mutexCellBytes))
+		}
 		return s
 	default:
-		s := &casShadow{d: d, id: id, name: name, cells: make([]casCell, n)}
-		d.shadowBytes.Add(int64(n) * casCellBytes)
+		s := &casShadow{d: d, id: id, name: spec.Name}
+		if d.flat {
+			s.flat = make([]casCell, spec.Len)
+			d.shadowBytes.Add(int64(spec.Len) * casCellBytes)
+		} else {
+			s.pages = shadow.New[casCell](spec.Bound())
+			s.pages.SetOnAlloc(d.pageAlloc(casCellBytes))
+		}
 		return s
+	}
+}
+
+// pageAlloc returns the paged substrate's allocation hook: analytic
+// footprint plus the ShadowPagesAllocated counter. Allocation happens at
+// most once per PageSize cells, so the shard atomics are off the hot
+// path.
+func (d *Detector) pageAlloc(cellBytes int64) func(cells int) {
+	sh := d.st.Shard(0)
+	return func(cells int) {
+		d.shadowBytes.Add(int64(cells) * cellBytes)
+		sh.Inc(stats.ShadowPagesAllocated)
 	}
 }
 
@@ -504,7 +544,17 @@ type mutexShadow struct {
 	d     *Detector
 	id    uint64
 	name  string
-	cells []mutexCell
+	pages *shadow.Pages[mutexCell] // nil under the flat ablation
+	flat  []mutexCell              // non-nil iff Options.FlatShadow
+}
+
+// cell resolves element i's shadow word: through the task's page cache
+// on the paged backend, a plain index on the flat ablation.
+func (s *mutexShadow) cell(t *detect.Task, i int) *mutexCell {
+	if s.flat != nil {
+		return &s.flat[i]
+	}
+	return s.pages.CellOf(&t.PC, i)
 }
 
 func (s *mutexShadow) Read(t *detect.Task, i int)  { s.ReadAt(t, i, 0) }
@@ -523,7 +573,7 @@ func (s *mutexShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 		}
 	}
 	ts.nMutexOps++
-	c := &s.cells[i]
+	c := s.cell(t, i)
 	c.mu.Lock()
 	if m, changed := s.d.readCheck(c.m, ts, s.name, i, site); changed {
 		c.m = m
@@ -547,7 +597,7 @@ func (s *mutexShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 		}
 	}
 	ts.nMutexOps++
-	c := &s.cells[i]
+	c := s.cell(t, i)
 	c.mu.Lock()
 	if m, changed := s.d.writeCheck(c.m, ts, s.name, i, site); changed {
 		c.m = m

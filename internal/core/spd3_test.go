@@ -128,7 +128,7 @@ func shadowProgram(t *testing.T, mode SyncMode, exec task.ExecKind, workers int,
 	body func(c *task.Ctx, sh detect.Shadow)) []detect.Race {
 	t.Helper()
 	rt, d, sink := newRT(t, mode, exec, workers, false)
-	sh := d.NewShadow("x", 8, 8)
+	sh := d.NewShadow(detect.Spec("x", 8, 8))
 	if err := rt.Run(func(c *task.Ctx) { body(c, sh) }); err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestHaltMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 4, 8)
+	sh := d.NewShadow(detect.Spec("x", 4, 8))
 	err = rt.Run(func(c *task.Ctx) {
 		c.Finish(func(c *task.Ctx) {
 			for i := 0; i < 4; i++ {
@@ -493,7 +493,7 @@ func TestStepCacheSoundness(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sh := d.NewShadow("x", 8, 8)
+			sh := d.NewShadow(detect.Spec("x", 8, 8))
 			if err := rt.Run(func(c *task.Ctx) { p.body(c, sh) }); err != nil {
 				t.Fatal(err)
 			}
@@ -517,7 +517,7 @@ func TestConsecutiveRunsAreOrdered(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sh := d.NewShadow("x", 1, 8)
+		sh := d.NewShadow(detect.Spec("x", 1, 8))
 		if err := rt.Run(func(c *task.Ctx) {
 			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
 		}); err != nil {
@@ -537,15 +537,28 @@ func TestConsecutiveRunsAreOrdered(t *testing.T) {
 }
 
 func TestFootprintConstantPerLocation(t *testing.T) {
-	sink := detect.NewSink(false, 0)
-	d := New(sink, SyncCAS)
-	d.NewShadow("a", 1000, 8)
-	f1 := d.Footprint().ShadowBytes
-	d.NewShadow("b", 1000, 8)
+	rt, d, _ := newRT(t, SyncCAS, task.Sequential, 1, false)
+	sh1 := d.NewShadow(detect.Spec("a", 1000, 8))
+	sh2 := d.NewShadow(detect.Spec("b", 1000, 8))
+	// Paged shadow: declaring regions allocates nothing.
+	if f := d.Footprint().ShadowBytes; f != 0 {
+		t.Errorf("untouched shadow bytes = %d, want 0", f)
+	}
+	var f1 int64
+	err := rt.Run(func(c *task.Ctx) {
+		sh1.Write(c.Task(), 0)
+		f1 = d.Footprint().ShadowBytes
+		sh2.Write(c.Task(), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f2 := d.Footprint().ShadowBytes
 	if f2-f1 != f1 {
-		t.Errorf("shadow bytes not linear in locations: %d then %d", f1, f2)
+		t.Errorf("shadow bytes not linear in touched regions: %d then %d", f1, f2)
 	}
+	// A 1000-element region fits one clipped page, so a single touch
+	// materializes exactly 1000 cells.
 	if per := f1 / 1000; per != casCellBytes {
 		t.Errorf("bytes per location = %d, want %d", per, casCellBytes)
 	}

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"spd3/internal/shadow"
 	"spd3/internal/stats"
 )
 
@@ -55,6 +56,14 @@ type Task struct {
 	// detector during MainTask/BeforeSpawn (in the parent's goroutine)
 	// and thereafter read and written only by the task itself.
 	State any
+
+	// PC is the task's shadow page cache, threaded through the paged
+	// shadow hot path (shadow.Pages.CellOf). Shadow events are
+	// delivered from the task's own goroutine (see the event contract
+	// above), so the cache needs no synchronization; the runtime
+	// flushes its batched hit/miss tallies into the stats shards at
+	// task end.
+	PC shadow.PageCache
 }
 
 // Finish is the runtime's record of one dynamic finish instance, including
@@ -114,10 +123,49 @@ func (k AccessKind) String() string {
 	return "write"
 }
 
-// Shadow is the detector's per-region shadow memory. The region is a dense
-// index space [0, n); element i shadows the program datum at index i.
-// Read and Write are called by the accessing task's goroutine and must be
-// safe for concurrent use when the detector supports parallel execution.
+// ShadowSpec describes one shadow region to allocate. The region is a
+// dense index space: [0, Len) when fixed, unbounded (any non-negative
+// index) when Growable. Construct fixed specs with Spec and growable
+// ones with GrowableSpec, or fill the struct directly.
+type ShadowSpec struct {
+	// Name labels the region in race reports.
+	Name string
+	// Len is the element count of a fixed region; advisory for a
+	// growable one (the initial extent, which may be 0).
+	Len int
+	// ElemBytes is the size of one shadowed program datum, for
+	// footprint accounting.
+	ElemBytes int
+	// Growable marks a region whose index space extends on demand
+	// (mem.List): the detector's shadow must accept any non-negative
+	// index, extending page by page rather than reallocating.
+	Growable bool
+}
+
+// Spec returns the ShadowSpec of a fixed region of n elements.
+func Spec(name string, n, elemBytes int) ShadowSpec {
+	return ShadowSpec{Name: name, Len: n, ElemBytes: elemBytes}
+}
+
+// GrowableSpec returns the ShadowSpec of a growable region.
+func GrowableSpec(name string, elemBytes int) ShadowSpec {
+	return ShadowSpec{Name: name, ElemBytes: elemBytes, Growable: true}
+}
+
+// Bound returns the region's paging bound: Len for a fixed region, -1
+// (unbounded) for a growable one — the value shadow.New expects.
+func (s ShadowSpec) Bound() int {
+	if s.Growable {
+		return -1
+	}
+	return s.Len
+}
+
+// Shadow is the detector's per-region shadow memory; element i shadows
+// the program datum at index i of the region described by its
+// ShadowSpec. Read and Write are called by the accessing task's
+// goroutine and must be safe for concurrent use when the detector
+// supports parallel execution.
 type Shadow interface {
 	Read(t *Task, i int)
 	Write(t *Task, i int)
@@ -183,10 +231,14 @@ type Detector interface {
 	Acquire(t *Task, l *Lock)
 	Release(t *Task, l *Lock)
 
-	// NewShadow allocates shadow state for an instrumented region of n
-	// elements. name labels race reports; elemBytes sizes the shadowed
-	// data for footprint accounting.
-	NewShadow(name string, n int, elemBytes int) Shadow
+	// NewShadow allocates shadow state for the instrumented region
+	// spec describes. Paged implementations (every detector in this
+	// repository) allocate no per-element state here: shadow pages
+	// materialize lazily on first access, so a huge region that is
+	// touched sparsely pays only for the pages it touches. Detectors
+	// that cannot serve a growable region should document it and may
+	// panic when handed one.
+	NewShadow(spec ShadowSpec) Shadow
 
 	// Footprint returns the detector's current analytic memory usage.
 	Footprint() Footprint
@@ -204,17 +256,17 @@ type Footprint = stats.Footprint
 // measured against it.
 type Nop struct{}
 
-func (Nop) Name() string                      { return "base" }
-func (Nop) RequiresSequential() bool          { return false }
-func (Nop) MainTask(*Task, *Finish)           {}
-func (Nop) BeforeSpawn(*Task, *Task)          {}
-func (Nop) TaskEnd(*Task)                     {}
-func (Nop) FinishStart(*Task, *Finish)        {}
-func (Nop) FinishEnd(*Task, *Finish)          {}
-func (Nop) Acquire(*Task, *Lock)              {}
-func (Nop) Release(*Task, *Lock)              {}
-func (Nop) NewShadow(string, int, int) Shadow { return nopShadow{} }
-func (Nop) Footprint() Footprint              { return Footprint{} }
+func (Nop) Name() string                { return "base" }
+func (Nop) RequiresSequential() bool    { return false }
+func (Nop) MainTask(*Task, *Finish)     {}
+func (Nop) BeforeSpawn(*Task, *Task)    {}
+func (Nop) TaskEnd(*Task)               {}
+func (Nop) FinishStart(*Task, *Finish)  {}
+func (Nop) FinishEnd(*Task, *Finish)    {}
+func (Nop) Acquire(*Task, *Lock)        {}
+func (Nop) Release(*Task, *Lock)        {}
+func (Nop) NewShadow(ShadowSpec) Shadow { return nopShadow{} }
+func (Nop) Footprint() Footprint        { return Footprint{} }
 
 type nopShadow struct{}
 

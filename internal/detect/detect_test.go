@@ -164,7 +164,7 @@ func TestNopDetector(t *testing.T) {
 	if d.Name() != "base" || d.RequiresSequential() {
 		t.Fatal("Nop misconfigured")
 	}
-	sh := d.NewShadow("x", 4, 8)
+	sh := d.NewShadow(Spec("x", 4, 8))
 	sh.Read(nil, 0) // must not touch the task
 	sh.Write(nil, 3)
 	if d.Footprint().Total() != 0 {
@@ -185,8 +185,8 @@ func TestStatsCounting(t *testing.T) {
 	s.Acquire(main, l)
 	s.Release(main, l)
 
-	a := s.NewShadow("a", 10, 8)
-	b := s.NewShadow("b", 5, 8)
+	a := s.NewShadow(Spec("a", 10, 8))
+	b := s.NewShadow(Spec("b", 5, 8))
 	for i := 0; i < 7; i++ {
 		a.Read(main, 0)
 	}

@@ -62,8 +62,8 @@ func (s *Stats) Acquire(*Task, *Lock) { s.LockOps.Add(1) }
 func (s *Stats) Release(*Task, *Lock) { s.LockOps.Add(1) }
 
 // NewShadow implements Detector.
-func (s *Stats) NewShadow(name string, n, elemBytes int) Shadow {
-	r := &RegionStats{Name: name, Elems: n}
+func (s *Stats) NewShadow(spec ShadowSpec) Shadow {
+	r := &RegionStats{Name: spec.Name, Elems: spec.Len}
 	s.mu.Lock()
 	s.regions = append(s.regions, r)
 	s.mu.Unlock()

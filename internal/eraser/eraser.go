@@ -21,14 +21,17 @@ import (
 	"sync"
 
 	"spd3/internal/detect"
+	"spd3/internal/shadow"
+	"spd3/internal/stats"
 )
 
 // Detector is the Eraser baseline detector.
 type Detector struct {
 	sink *detect.Sink
+	st   *stats.Recorder
 
 	mu      sync.Mutex
-	shadows []*shadow
+	shadows []*regionShadow
 	setPool map[string][]int64 // interned locksets, keyed by canonical form
 	setByte int64
 }
@@ -37,6 +40,10 @@ type Detector struct {
 func New(sink *detect.Sink) *Detector {
 	return &Detector{sink: sink, setPool: make(map[string][]int64)}
 }
+
+// SetStats wires the engine's observability recorder (nil is fine);
+// call before the first NewShadow.
+func (d *Detector) SetStats(st *stats.Recorder) { d.st = st }
 
 // Name implements detect.Detector.
 func (d *Detector) Name() string { return "eraser" }
@@ -144,15 +151,18 @@ type evar struct {
 // are interned and accounted separately).
 const evarBytes = 8 + 1 + 8 + 8 + 1 + 6 // mutex + state + owner + set ptr + flag + padding
 
-type shadow struct {
+type regionShadow struct {
 	d    *Detector
 	name string
-	vars []evar
+	vars *shadow.Pages[evar]
 }
 
-// NewShadow implements detect.Detector.
-func (d *Detector) NewShadow(name string, n, elemBytes int) detect.Shadow {
-	s := &shadow{d: d, name: name, vars: make([]evar, n)}
+// NewShadow implements detect.Detector: evar state is paged in lazily,
+// so untouched locations cost nothing.
+func (d *Detector) NewShadow(spec detect.ShadowSpec) detect.Shadow {
+	s := &regionShadow{d: d, name: spec.Name, vars: shadow.New[evar](spec.Bound())}
+	sh := d.st.Shard(0)
+	s.vars.SetOnAlloc(func(int) { sh.Inc(stats.ShadowPagesAllocated) })
 	d.mu.Lock()
 	d.shadows = append(d.shadows, s)
 	d.mu.Unlock()
@@ -165,18 +175,19 @@ func (d *Detector) Footprint() detect.Footprint {
 	defer d.mu.Unlock()
 	var f detect.Footprint
 	for _, s := range d.shadows {
-		f.ShadowBytes += int64(len(s.vars)) * evarBytes
+		_, cells := s.vars.Allocated()
+		f.ShadowBytes += cells * evarBytes
 	}
 	f.SetBytes = d.setByte
 	return f
 }
 
-func (s *shadow) access(t *detect.Task, i int, isWrite bool) {
+func (s *regionShadow) access(t *detect.Task, i int, isWrite bool) {
 	if s.d.sink.Stopped() {
 		return
 	}
 	ts := t.State.(*taskState)
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 
@@ -221,9 +232,9 @@ func (s *shadow) access(t *detect.Task, i int, isWrite bool) {
 }
 
 // Read implements detect.Shadow.
-func (s *shadow) Read(t *detect.Task, i int) { s.access(t, i, false) }
+func (s *regionShadow) Read(t *detect.Task, i int) { s.access(t, i, false) }
 
 // Write implements detect.Shadow.
-func (s *shadow) Write(t *detect.Task, i int) { s.access(t, i, true) }
+func (s *regionShadow) Write(t *detect.Task, i int) { s.access(t, i, true) }
 
 var _ detect.Detector = (*Detector)(nil)

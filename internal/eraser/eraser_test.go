@@ -20,7 +20,7 @@ func newRT(t *testing.T) (*task.Runtime, *Detector, *detect.Sink) {
 
 func TestSingleTaskQuiet(t *testing.T) {
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 4, 8)
+	sh := d.NewShadow(detect.Spec("x", 4, 8))
 	err := rt.Run(func(c *task.Ctx) {
 		for i := 0; i < 4; i++ {
 			sh.Write(c.Task(), i)
@@ -37,7 +37,7 @@ func TestSingleTaskQuiet(t *testing.T) {
 
 func TestLockedDisciplineQuiet(t *testing.T) {
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	l := rt.NewLock()
 	err := rt.Run(func(c *task.Ctx) {
 		c.FinishAsync(4, func(c *task.Ctx, i int) {
@@ -57,7 +57,7 @@ func TestLockedDisciplineQuiet(t *testing.T) {
 
 func TestUnlockedSharedWriteReported(t *testing.T) {
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	err := rt.Run(func(c *task.Ctx) {
 		c.FinishAsync(2, func(c *task.Ctx, i int) { sh.Write(c.Task(), 0) })
 	})
@@ -73,7 +73,7 @@ func TestReadSharedQuiet(t *testing.T) {
 	// Read-only sharing never enters Shared-Modified: no report even
 	// without locks.
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	err := rt.Run(func(c *task.Ctx) {
 		sh.Write(c.Task(), 0)
 		c.FinishAsync(6, func(c *task.Ctx, i int) { sh.Read(c.Task(), 0) })
@@ -92,7 +92,7 @@ func TestReadSharedQuiet(t *testing.T) {
 // because fork-join ordering is invisible to a lockset analysis.
 func TestFalsePositiveOnForkJoin(t *testing.T) {
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	err := rt.Run(func(c *task.Ctx) {
 		c.Finish(func(c *task.Ctx) {
 			c.Async(func(c *task.Ctx) { sh.Write(c.Task(), 0) })
@@ -113,7 +113,7 @@ func TestExclusiveInitializationWindow(t *testing.T) {
 	// lockset. Two accesses under disjoint locks therefore go
 	// unreported — the first thread's lockset was never recorded.
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	l1 := rt.NewLock()
 	l2 := rt.NewLock()
 	err := rt.Run(func(c *task.Ctx) {
@@ -142,7 +142,7 @@ func TestPartialLockingReportedOnThirdAccess(t *testing.T) {
 	// With a third accessor the candidate set {l2} ∩ {l1} empties and
 	// the violation is reported.
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	l1 := rt.NewLock()
 	l2 := rt.NewLock()
 	lockOf := []*detect.Lock{l1, l2, l1}
@@ -163,7 +163,7 @@ func TestPartialLockingReportedOnThirdAccess(t *testing.T) {
 
 func TestCommonLockAmongSeveral(t *testing.T) {
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	l1 := rt.NewLock()
 	l2 := rt.NewLock()
 	err := rt.Run(func(c *task.Ctx) {
@@ -189,7 +189,7 @@ func TestCommonLockAmongSeveral(t *testing.T) {
 
 func TestLocksetInterning(t *testing.T) {
 	rt, d, sink := newRT(t)
-	sh := d.NewShadow("x", 100, 8)
+	sh := d.NewShadow(detect.Spec("x", 100, 8))
 	l := rt.NewLock()
 	err := rt.Run(func(c *task.Ctx) {
 		c.FinishAsync(2, func(c *task.Ctx, i int) {
@@ -215,7 +215,7 @@ func TestLocksetInterning(t *testing.T) {
 
 func TestReleaseUnheldLockIsNoop(t *testing.T) {
 	rt, d, sink := newRT(t)
-	_ = d.NewShadow("x", 1, 8)
+	_ = d.NewShadow(detect.Spec("x", 1, 8))
 	l := rt.NewLock()
 	err := rt.Run(func(c *task.Ctx) {
 		c.Release(l) // sloppy program; must not panic

@@ -23,6 +23,8 @@ import (
 	"fmt"
 
 	"spd3/internal/detect"
+	"spd3/internal/shadow"
+	"spd3/internal/stats"
 )
 
 // kind discriminates bag kinds.
@@ -113,16 +115,21 @@ func inS(e *elem) bool { return e != nil && find(e).bag.k == sBag }
 // Detector is the ESP-bags detector.
 type Detector struct {
 	sink *detect.Sink
+	st   *stats.Recorder
 
 	elems   int64
 	bags    int64
-	shadows []*shadow
+	shadows []*regionShadow
 }
 
 // New returns an ESP-bags detector reporting to sink.
 func New(sink *detect.Sink) *Detector {
 	return &Detector{sink: sink}
 }
+
+// SetStats wires the engine's observability recorder (nil is fine);
+// call before the first NewShadow.
+func (d *Detector) SetStats(st *stats.Recorder) { d.st = st }
 
 // Name implements detect.Detector.
 func (d *Detector) Name() string { return "espbags" }
@@ -189,19 +196,23 @@ func (d *Detector) Acquire(*detect.Task, *detect.Lock) {}
 // Release is unsupported; see Acquire.
 func (d *Detector) Release(*detect.Task, *detect.Lock) {}
 
-// NewShadow implements detect.Detector.
-func (d *Detector) NewShadow(name string, n, elemBytes int) detect.Shadow {
-	s := &shadow{d: d, name: name, vars: make([]svar, n)}
+// NewShadow implements detect.Detector: per-location state lives in
+// lazily allocated pages, so only touched pages cost memory.
+func (d *Detector) NewShadow(spec detect.ShadowSpec) detect.Shadow {
+	s := &regionShadow{d: d, name: spec.Name, vars: shadow.New[svar](spec.Bound())}
+	sh := d.st.Shard(0)
+	s.vars.SetOnAlloc(func(int) { sh.Inc(stats.ShadowPagesAllocated) })
 	d.shadows = append(d.shadows, s)
 	return s
 }
 
-// Footprint implements detect.Detector: O(1) shadow space per location
-// plus one union-find element per task.
+// Footprint implements detect.Detector: O(1) shadow space per touched
+// location plus one union-find element per task.
 func (d *Detector) Footprint() detect.Footprint {
 	var f detect.Footprint
 	for _, s := range d.shadows {
-		f.ShadowBytes += int64(len(s.vars)) * svarBytes
+		_, cells := s.vars.Allocated()
+		f.ShadowBytes += cells * svarBytes
 	}
 	f.TreeBytes = d.elems*elemBytes + d.bags*17
 	return f
@@ -215,13 +226,13 @@ type svar struct {
 
 const svarBytes = 16
 
-type shadow struct {
+type regionShadow struct {
 	d    *Detector
 	name string
-	vars []svar
+	vars *shadow.Pages[svar]
 }
 
-func (s *shadow) report(k detect.RaceKind, i int, prev *elem, cur *detect.Task) {
+func (s *regionShadow) report(k detect.RaceKind, i int, prev *elem, cur *detect.Task) {
 	s.d.sink.Report(detect.Race{
 		Kind:     k,
 		Region:   s.name,
@@ -234,11 +245,11 @@ func (s *shadow) report(k detect.RaceKind, i int, prev *elem, cur *detect.Task) 
 // Read implements the SP-bags read rule: a write-read race if the
 // recorded writer is in a P-bag; the reader field is replaced only when
 // the previous reader is serialized (or absent).
-func (s *shadow) Read(t *detect.Task, i int) {
+func (s *regionShadow) Read(t *detect.Task, i int) {
 	if s.d.sink.Stopped() {
 		return
 	}
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	if inP(v.w) {
 		s.report(detect.WriteRead, i, v.w, t)
 	}
@@ -250,11 +261,11 @@ func (s *shadow) Read(t *detect.Task, i int) {
 // Write implements the SP-bags write rule: races if the recorded reader
 // or writer is in a P-bag; the writer field always becomes the current
 // task.
-func (s *shadow) Write(t *detect.Task, i int) {
+func (s *regionShadow) Write(t *detect.Task, i int) {
 	if s.d.sink.Stopped() {
 		return
 	}
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	if inP(v.r) {
 		s.report(detect.ReadWrite, i, v.r, t)
 	}

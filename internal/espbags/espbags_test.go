@@ -15,7 +15,7 @@ func run(t *testing.T, body func(c *task.Ctx, sh detect.Shadow)) []detect.Race {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 8, 8)
+	sh := d.NewShadow(detect.Spec("x", 8, 8))
 	if err := rt.Run(func(c *task.Ctx) { body(c, sh) }); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,20 @@ func TestManyReadersParallelWriteCaught(t *testing.T) {
 func TestConstantShadowFootprint(t *testing.T) {
 	sink := detect.NewSink(false, 0)
 	d := New(sink)
-	d.NewShadow("a", 1000, 8)
+	sh := d.NewShadow(detect.Spec("a", 1000, 8))
+	// Paged shadow: nothing allocated until a location is touched.
+	if f := d.Footprint().ShadowBytes; f != 0 {
+		t.Fatalf("untouched shadow bytes = %d, want 0", f)
+	}
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(c *task.Ctx) { sh.Write(c.Task(), 0) }); err != nil {
+		t.Fatal(err)
+	}
+	// A 1000-element region fits one clipped page, so one touch
+	// materializes exactly 1000 cells.
 	f := d.Footprint()
 	if per := f.ShadowBytes / 1000; per != svarBytes {
 		t.Fatalf("bytes per location = %d, want %d", per, svarBytes)

@@ -23,16 +23,19 @@ import (
 	"sync"
 
 	"spd3/internal/detect"
+	"spd3/internal/shadow"
+	"spd3/internal/stats"
 	"spd3/internal/vc"
 )
 
 // Detector is the FastTrack baseline detector.
 type Detector struct {
 	sink *detect.Sink
+	st   *stats.Recorder
 
 	mu      sync.Mutex
 	tids    vc.TID
-	shadows []*shadow
+	shadows []*regionShadow
 	tasks   []*taskState
 	locks   []*lockState
 }
@@ -41,6 +44,10 @@ type Detector struct {
 func New(sink *detect.Sink) *Detector {
 	return &Detector{sink: sink}
 }
+
+// SetStats wires the engine's observability recorder (nil is fine);
+// call before the first NewShadow.
+func (d *Detector) SetStats(st *stats.Recorder) { d.st = st }
 
 // Name implements detect.Detector.
 func (d *Detector) Name() string { return "fasttrack" }
@@ -225,9 +232,12 @@ func (d *Detector) Footprint() detect.Footprint {
 	return f
 }
 
-// NewShadow implements detect.Detector.
-func (d *Detector) NewShadow(name string, n, elemBytes int) detect.Shadow {
-	s := &shadow{d: d, name: name, vars: make([]ftVar, n)}
+// NewShadow implements detect.Detector: ftVar state is paged in lazily,
+// so untouched locations cost nothing.
+func (d *Detector) NewShadow(spec detect.ShadowSpec) detect.Shadow {
+	s := &regionShadow{d: d, name: spec.Name, vars: shadow.New[ftVar](spec.Bound())}
+	sh := d.st.Shard(0)
+	s.vars.SetOnAlloc(func(int) { sh.Inc(stats.ShadowPagesAllocated) })
 	d.mu.Lock()
 	d.shadows = append(d.shadows, s)
 	d.mu.Unlock()
@@ -246,25 +256,28 @@ type ftVar struct {
 // ftVarBytes is the fixed part of a location's shadow state.
 const ftVarBytes = 8 + 8 + 8 + 8 // mutex + two epochs + pointer
 
-type shadow struct {
+type regionShadow struct {
 	d    *Detector
 	name string
-	vars []ftVar
+	vars *shadow.Pages[ftVar]
 }
 
-func (s *shadow) bytes() int64 {
-	total := int64(len(s.vars)) * ftVarBytes
-	for i := range s.vars {
-		s.vars[i].mu.Lock()
-		if s.vars[i].rv != nil {
-			total += s.vars[i].rv.Bytes()
+func (s *regionShadow) bytes() int64 {
+	_, cells := s.vars.Allocated()
+	total := cells * ftVarBytes
+	s.vars.Range(func(_ int, vars []ftVar) {
+		for i := range vars {
+			vars[i].mu.Lock()
+			if vars[i].rv != nil {
+				total += vars[i].rv.Bytes()
+			}
+			vars[i].mu.Unlock()
 		}
-		s.vars[i].mu.Unlock()
-	}
+	})
 	return total
 }
 
-func (s *shadow) report(kind detect.RaceKind, i int, prev string, cur vc.TID) {
+func (s *regionShadow) report(kind detect.RaceKind, i int, prev string, cur vc.TID) {
 	s.d.sink.Report(detect.Race{
 		Kind:     kind,
 		Region:   s.name,
@@ -275,12 +288,12 @@ func (s *shadow) report(kind detect.RaceKind, i int, prev string, cur vc.TID) {
 }
 
 // Read implements the [FT READ] rules.
-func (s *shadow) Read(t *detect.Task, i int) {
+func (s *regionShadow) Read(t *detect.Task, i int) {
 	if s.d.sink.Stopped() {
 		return
 	}
 	ts := t.State.(*taskState)
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 
@@ -313,12 +326,12 @@ func (s *shadow) Read(t *detect.Task, i int) {
 }
 
 // Write implements the [FT WRITE] rules.
-func (s *shadow) Write(t *detect.Task, i int) {
+func (s *regionShadow) Write(t *detect.Task, i int) {
 	if s.d.sink.Stopped() {
 		return
 	}
 	ts := t.State.(*taskState)
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 

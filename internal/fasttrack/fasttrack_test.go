@@ -17,7 +17,7 @@ func run(t *testing.T, exec task.ExecKind, workers int,
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 8, 8)
+	sh := d.NewShadow(detect.Spec("x", 8, 8))
 	if err := rt.Run(func(c *task.Ctx) { body(c, d, sh) }); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestLockOrdersCriticalSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	l := rt.NewLock()
 	err = rt.Run(func(c *task.Ctx) {
 		c.FinishAsync(4, func(c *task.Ctx, i int) {
@@ -122,7 +122,7 @@ func TestUnlockedConflictStillRaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 1, 8)
+	sh := d.NewShadow(detect.Spec("x", 1, 8))
 	l := rt.NewLock()
 	err = rt.Run(func(c *task.Ctx) {
 		c.Finish(func(c *task.Ctx) {
@@ -196,7 +196,7 @@ func TestBarrierEventsOrderPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("slots", 4, 8)
+	sh := d.NewShadow(detect.Spec("slots", 4, 8))
 	if err := barrierPhased(rt, sh, 4, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestSPD3SeesThroughNoBarriers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("slots", 4, 8)
+	sh := d.NewShadow(detect.Spec("slots", 4, 8))
 	if err := barrierPhased(rt, sh, 4, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestClockBytesGrowWithTasks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sh := d.NewShadow("x", 1, 8)
+		sh := d.NewShadow(detect.Spec("x", 1, 8))
 		if err := rt.Run(func(c *task.Ctx) {
 			c.FinishAsync(tasks, func(c *task.Ctx, i int) { sh.Read(c.Task(), 0) })
 		}); err != nil {

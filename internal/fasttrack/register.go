@@ -4,6 +4,8 @@ import "spd3/internal/detect"
 
 func init() {
 	detect.Register("fasttrack", func(o detect.FactoryOpts) detect.Detector {
-		return New(o.Sink)
+		d := New(o.Sink)
+		d.SetStats(o.Stats)
+		return d
 	})
 }

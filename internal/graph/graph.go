@@ -162,10 +162,12 @@ func (o *Oracle) Release(t *detect.Task, l *detect.Lock) {
 	ts.cur = out
 }
 
-// NewShadow implements detect.Detector.
-func (o *Oracle) NewShadow(name string, n, elemBytes int) detect.Shadow {
-	r := &regionLog{name: name, elems: make([][]access, n)}
-	o.regions[name] = r
+// NewShadow implements detect.Detector. Growable regions start empty and
+// extend on first access — the oracle is sequential-only, so plain slice
+// growth is safe.
+func (o *Oracle) NewShadow(spec detect.ShadowSpec) detect.Shadow {
+	r := &regionLog{name: spec.Name, elems: make([][]access, spec.Len)}
+	o.regions[spec.Name] = r
 	return &recorder{o: o, r: r}
 }
 
@@ -177,15 +179,16 @@ type recorder struct {
 	r *regionLog
 }
 
-func (rec *recorder) Read(t *detect.Task, i int) {
+func (rec *recorder) log(t *detect.Task, i int, isWrite bool) {
+	for i >= len(rec.r.elems) {
+		rec.r.elems = append(rec.r.elems, nil)
+	}
 	cur := t.State.(*taskState).cur
-	rec.r.elems[i] = append(rec.r.elems[i], access{step: cur.id, isWrite: false})
+	rec.r.elems[i] = append(rec.r.elems[i], access{step: cur.id, isWrite: isWrite})
 }
 
-func (rec *recorder) Write(t *detect.Task, i int) {
-	cur := t.State.(*taskState).cur
-	rec.r.elems[i] = append(rec.r.elems[i], access{step: cur.id, isWrite: true})
-}
+func (rec *recorder) Read(t *detect.Task, i int)  { rec.log(t, i, false) }
+func (rec *recorder) Write(t *detect.Task, i int) { rec.log(t, i, true) }
 
 // bitset is a fixed-size bit vector.
 type bitset []uint64

@@ -14,7 +14,7 @@ func record(t *testing.T, body func(c *task.Ctx, sh detect.Shadow)) *Oracle {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := o.NewShadow("v", 8, 8)
+	sh := o.NewShadow(detect.Spec("v", 8, 8))
 	if err := rt.Run(func(c *task.Ctx) { body(c, sh) }); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestLockEdgesOrderCriticalSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := o.NewShadow("v", 2, 8)
+	sh := o.NewShadow(detect.Spec("v", 2, 8))
 	l := rt.NewLock()
 	err = rt.Run(func(c *task.Ctx) {
 		c.FinishAsync(3, func(c *task.Ctx, i int) {
@@ -159,7 +159,7 @@ func TestLockEdgeDoesNotOrderPostRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := o.NewShadow("v", 1, 8)
+	sh := o.NewShadow(detect.Spec("v", 1, 8))
 	l := rt.NewLock()
 	err = rt.Run(func(c *task.Ctx) {
 		c.Finish(func(c *task.Ctx) {

@@ -82,6 +82,7 @@ const (
 	SPD3Walk    Tool = "spd3-walk"    // DMHP via the §5.2 pointer walk only (ablation)
 	SPD3FP      Tool = "spd3-fp"      // fingerprints on, per-task memo off (ablation)
 	SPD3NoStats Tool = "spd3-nostats" // default SPD3 with the stats recorder disabled (ablation)
+	SPD3Flat    Tool = "spd3-flat"    // eager flat shadow instead of lazy pages (ablation)
 	ESPBags     Tool = "espbags"
 	FastTrack   Tool = "fasttrack"
 	Eraser      Tool = "eraser"
@@ -203,6 +204,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-stepcache", Title: "§5.5 ablation: per-step redundant-check cache", Run: ablationStepCache},
 		{ID: "ablation-dmhp", Title: "DMHP fast-path ablation: pointer walk vs fingerprints vs fingerprints+memo", Run: ablationDMHP},
 		{ID: "stats", Title: "Observability counters: per-benchmark SPD3 event profile", Run: statsTable},
+		{ID: "sparse", Title: "Sparse shadow: paged vs flat footprint on clustered touches", Run: sparseShadow},
 	}
 }
 
@@ -598,3 +600,34 @@ func ratio(a, b time.Duration) float64 {
 }
 
 func mb(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+// sparseShadow measures the tentpole claim of the paged shadow memory:
+// on a workload that touches ~1% of a large region in page-sized
+// clusters, the paged shadow's footprint tracks the touched pages while
+// the flat ablation (spd3-flat) pays for every declared element. Dense
+// benchmarks cost the same either way; this table shows the sparse gap
+// plus the page-allocation and page-cache counters.
+func sparseShadow(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.maxThreads()
+	t := &Table{
+		Title:  fmt.Sprintf("Sparse shadow: paged vs flat on clustered 1%% touches at %d workers", n),
+		Header: []string{"Tool", "Time(s)", "Shadow MB", "Pages", "CacheHit", "CacheMiss"},
+	}
+	b := bench.SparseTouchBench()
+	in := bench.Input{Scale: cfg.Scale}
+	for _, tool := range []Tool{Base, SPD3, SPD3Flat} {
+		m, err := cfg.measure(b, tool, n, in)
+		if err != nil {
+			return nil, err
+		}
+		s := m.Stats
+		t.AddRow(string(tool),
+			fmt.Sprintf("%.3f", m.Time.Seconds()),
+			fmt.Sprintf("%.3f", mb(m.Footprint.ShadowBytes)),
+			fmt.Sprint(s.Get(stats.ShadowPagesAllocated)),
+			fmt.Sprint(s.Get(stats.PageCacheHit)),
+			fmt.Sprint(s.Get(stats.PageCacheMiss)))
+	}
+	return t, nil
+}

@@ -27,6 +27,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"ablation-stepcache": "Ablation §5.5",
 		"ablation-dmhp":      "Ablation: DMHP fast path",
 		"stats":              "Observability counters",
+		"sparse":             "Sparse shadow",
 	}
 	exps := Experiments()
 	if len(exps) != len(wantTitle) {

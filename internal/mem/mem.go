@@ -9,12 +9,18 @@
 // identical — the same checks at the same program points — only the agent
 // inserting the call differs.
 //
-// The Raw/RawAt escape hatches correspond to the paper's §5.5 static
+// The Unchecked escape hatches correspond to the paper's §5.5 static
 // optimizations (main-task check elimination, read-only check
 // elimination, escape analysis for task-local data): where the programmer
 // — playing the role of the static analysis — can prove accesses cannot
 // race, checks are elided. Benchmarks use them exactly where the paper's
 // optimizer would fire.
+//
+// Containers declare their shadow regions through detect.ShadowSpec;
+// detectors back them with lazily allocated pages, so a sparsely touched
+// container costs shadow memory proportional to the pages actually
+// accessed, not its declared length. List additionally uses a growable
+// region with no declared length at all.
 package mem
 
 import (
@@ -56,7 +62,7 @@ func callerSite() uintptr {
 // race reports.
 func NewArray[T any](rt *task.Runtime, name string, n int) *Array[T] {
 	var zero T
-	sh := rt.Detector().NewShadow(name, n, int(unsafe.Sizeof(zero)))
+	sh := rt.Detector().NewShadow(detect.Spec(name, n, int(unsafe.Sizeof(zero))))
 	return &Array[T]{data: make([]T, n), sh: sh, sited: siteShadow(rt, sh), reg: rt.Stats().Region(name, n)}
 }
 
@@ -100,10 +106,16 @@ func (a *Array[T]) Update(c *task.Ctx, i int, f func(T) T) {
 	a.data[i] = f(a.data[i])
 }
 
-// Raw returns the backing slice without instrumentation. Use only for
-// provably race-free phases (task-local or read-only data); this is the
-// programmer-directed analogue of the paper's §5.5 check eliminations.
-func (a *Array[T]) Raw() []T { return a.data }
+// Unchecked returns the backing slice without instrumentation. Use only
+// for provably race-free phases (task-local or read-only data); this is
+// the programmer-directed analogue of the paper's §5.5 static check
+// eliminations (main-task, read-only, and escape-analysis elimination).
+func (a *Array[T]) Unchecked() []T { return a.data }
+
+// Raw is the former name of Unchecked.
+//
+// Deprecated: use Unchecked. Kept one release for migration.
+func (a *Array[T]) Raw() []T { return a.Unchecked() }
 
 // Matrix is a two-dimensional instrumented array stored in row-major
 // order; element (i,j) has shadow index i*cols+j.
@@ -118,7 +130,7 @@ type Matrix[T any] struct {
 // NewMatrix allocates an instrumented rows×cols matrix.
 func NewMatrix[T any](rt *task.Runtime, name string, rows, cols int) *Matrix[T] {
 	var zero T
-	sh := rt.Detector().NewShadow(name, rows*cols, int(unsafe.Sizeof(zero)))
+	sh := rt.Detector().NewShadow(detect.Spec(name, rows*cols, int(unsafe.Sizeof(zero))))
 	return &Matrix[T]{
 		rows:  rows,
 		cols:  cols,
@@ -178,12 +190,24 @@ func (m *Matrix[T]) Update(c *task.Ctx, i, j int, f func(T) T) {
 	m.data[k] = f(m.data[k])
 }
 
-// Row returns row i of the backing store without instrumentation; see
-// Array.Raw for when this is legitimate.
-func (m *Matrix[T]) Row(i int) []T { return m.data[i*m.cols : (i+1)*m.cols] }
+// UncheckedRow returns row i of the backing store without
+// instrumentation; see Array.Unchecked for when this is legitimate
+// (the §5.5 static check eliminations).
+func (m *Matrix[T]) UncheckedRow(i int) []T { return m.data[i*m.cols : (i+1)*m.cols] }
 
-// Raw returns the whole backing store without instrumentation.
-func (m *Matrix[T]) Raw() []T { return m.data }
+// Unchecked returns the whole backing store without instrumentation;
+// see Array.Unchecked.
+func (m *Matrix[T]) Unchecked() []T { return m.data }
+
+// Row is the former name of UncheckedRow.
+//
+// Deprecated: use UncheckedRow. Kept one release for migration.
+func (m *Matrix[T]) Row(i int) []T { return m.UncheckedRow(i) }
+
+// Raw is the former name of Unchecked.
+//
+// Deprecated: use Unchecked. Kept one release for migration.
+func (m *Matrix[T]) Raw() []T { return m.Unchecked() }
 
 // Var is a single instrumented shared variable.
 type Var[T any] struct {
@@ -196,7 +220,7 @@ type Var[T any] struct {
 // NewVar allocates an instrumented variable with initial value init.
 func NewVar[T any](rt *task.Runtime, name string, init T) *Var[T] {
 	var zero T
-	sh := rt.Detector().NewShadow(name, 1, int(unsafe.Sizeof(zero)))
+	sh := rt.Detector().NewShadow(detect.Spec(name, 1, int(unsafe.Sizeof(zero))))
 	return &Var[T]{v: init, sh: sh, sited: siteShadow(rt, sh), reg: rt.Stats().Region(name, 1)}
 }
 

@@ -81,7 +81,7 @@ func TestMatrixUpdateIsReadModifyWrite(t *testing.T) {
 	if sink.Empty() {
 		t.Fatal("parallel Matrix.Updates not reported")
 	}
-	if got := m.Row(0)[0]; got != 2 {
+	if got := m.UncheckedRow(0)[0]; got != 2 {
 		t.Errorf("m[0][0] = %d, want 2 (sequential executor)", got)
 	}
 }
@@ -125,11 +125,11 @@ func TestMatrixIndexing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Row(1)[3]; got != 103 {
+	if got := m.UncheckedRow(1)[3]; got != 103 {
 		t.Errorf("Row(1)[3] = %d", got)
 	}
-	if len(m.Raw()) != 15 {
-		t.Errorf("Raw len = %d", len(m.Raw()))
+	if len(m.Unchecked()) != 15 {
+		t.Errorf("Raw len = %d", len(m.Unchecked()))
 	}
 	if !sink.Empty() {
 		t.Fatalf("races: %v", sink.Races())
@@ -188,7 +188,7 @@ func TestRawBypassesDetection(t *testing.T) {
 	a := NewArray[int](rt, "a", 4)
 	err := rt.Run(func(c *task.Ctx) {
 		c.FinishAsync(2, func(c *task.Ctx, i int) {
-			a.Raw()[0] = i // would race if instrumented; sequential executor keeps it safe here
+			a.Unchecked()[0] = i // would race if instrumented; sequential executor keeps it safe here
 		})
 	})
 	if err != nil {

@@ -36,6 +36,8 @@ import (
 	"sync"
 
 	"spd3/internal/detect"
+	"spd3/internal/shadow"
+	"spd3/internal/stats"
 )
 
 // span is the fixed fork span: larger than any realistic spawn count, so
@@ -92,15 +94,20 @@ func prefixLen(a, b Label) int {
 // Detector is the Offset-Span labeling race detector.
 type Detector struct {
 	sink *detect.Sink
+	st   *stats.Recorder
 
 	labelWords detect.Counter
-	shadowCnt  detect.Counter
+	shadowCnt  detect.Counter // allocated shadow cells (paged, not declared)
 }
 
 // New returns an OS-labeling detector reporting to sink.
 func New(sink *detect.Sink) *Detector {
 	return &Detector{sink: sink}
 }
+
+// SetStats wires the engine's observability recorder (nil is fine);
+// call before the first NewShadow.
+func (d *Detector) SetStats(st *stats.Recorder) { d.st = st }
 
 // Name implements detect.Detector.
 func (d *Detector) Name() string { return "oslabel" }
@@ -188,16 +195,22 @@ type osVar struct {
 
 const osVarBytes = 8 + 3*24 // mutex + three label headers
 
-type shadow struct {
+type regionShadow struct {
 	d    *Detector
 	name string
-	vars []osVar
+	vars *shadow.Pages[osVar]
 }
 
-// NewShadow implements detect.Detector.
-func (d *Detector) NewShadow(name string, n, elemBytes int) detect.Shadow {
-	d.shadowCnt.Add(int64(n))
-	return &shadow{d: d, name: name, vars: make([]osVar, n)}
+// NewShadow implements detect.Detector: osVar state is paged in lazily;
+// shadowCnt now counts allocated cells rather than declared length.
+func (d *Detector) NewShadow(spec detect.ShadowSpec) detect.Shadow {
+	s := &regionShadow{d: d, name: spec.Name, vars: shadow.New[osVar](spec.Bound())}
+	sh := d.st.Shard(0)
+	s.vars.SetOnAlloc(func(cells int) {
+		d.shadowCnt.Add(int64(cells))
+		sh.Inc(stats.ShadowPagesAllocated)
+	})
+	return s
 }
 
 // Footprint implements detect.Detector.
@@ -208,7 +221,7 @@ func (d *Detector) Footprint() detect.Footprint {
 	}
 }
 
-func (s *shadow) report(kind detect.RaceKind, i int, prev Label, t *detect.Task) {
+func (s *regionShadow) report(kind detect.RaceKind, i int, prev Label, t *detect.Task) {
 	s.d.sink.Report(detect.Race{
 		Kind:     kind,
 		Region:   s.name,
@@ -219,12 +232,12 @@ func (s *shadow) report(kind detect.RaceKind, i int, prev Label, t *detect.Task)
 }
 
 // Read mirrors SPD3's Algorithm 2 on labels.
-func (s *shadow) Read(t *detect.Task, i int) {
+func (s *regionShadow) Read(t *detect.Task, i int) {
 	if s.d.sink.Stopped() {
 		return
 	}
 	l := t.State.(*taskState).label
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if mhp(v.w, l) {
@@ -246,12 +259,12 @@ func (s *shadow) Read(t *detect.Task, i int) {
 }
 
 // Write mirrors SPD3's Algorithm 1 on labels.
-func (s *shadow) Write(t *detect.Task, i int) {
+func (s *regionShadow) Write(t *detect.Task, i int) {
 	if s.d.sink.Stopped() {
 		return
 	}
 	l := t.State.(*taskState).label
-	v := &s.vars[i]
+	v := s.vars.CellOf(&t.PC, i)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if mhp(v.r1, l) {

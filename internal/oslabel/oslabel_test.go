@@ -18,7 +18,7 @@ func run(t *testing.T, exec task.ExecKind, workers int,
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 8, 8)
+	sh := d.NewShadow(detect.Spec("x", 8, 8))
 	if err := rt.Run(func(c *task.Ctx) { body(c, sh) }); err != nil {
 		t.Fatal(err)
 	}
@@ -164,19 +164,26 @@ func TestStrictParallelExecutorAgrees(t *testing.T) {
 func TestFootprintGrowsWithLabels(t *testing.T) {
 	sink := detect.NewSink(false, 0)
 	d := New(sink)
-	d.NewShadow("a", 100, 8)
-	f := d.Footprint()
-	if f.ShadowBytes != 100*osVarBytes {
-		t.Fatalf("shadow bytes = %d", f.ShadowBytes)
+	sh := d.NewShadow(detect.Spec("a", 100, 8))
+	// Paged shadow: nothing allocated until a location is touched.
+	if f := d.Footprint().ShadowBytes; f != 0 {
+		t.Fatalf("untouched shadow bytes = %d, want 0", f)
 	}
 	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
 	if err != nil {
 		t.Fatal(err)
 	}
+	var f detect.Footprint
 	if err := rt.Run(func(c *task.Ctx) {
+		sh.Write(c.Task(), 0)
+		f = d.Footprint()
 		c.FinishAsync(50, func(c *task.Ctx, i int) {})
 	}); err != nil {
 		t.Fatal(err)
+	}
+	// One touch materializes the region's single clipped page.
+	if f.ShadowBytes != 100*osVarBytes {
+		t.Fatalf("shadow bytes = %d, want %d", f.ShadowBytes, 100*osVarBytes)
 	}
 	if got := d.Footprint().TreeBytes; got <= f.TreeBytes {
 		t.Fatalf("label bytes did not grow: %d", got)

@@ -1,0 +1,126 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/shadow"
+	"spd3/internal/task"
+)
+
+// raceSet runs p under an SPD3 configuration and returns the set of
+// (region, index, kind) triples it reported.
+func raceSet(t *testing.T, p *Program, opt core.Options) map[string]bool {
+	t.Helper()
+	sink := detect.NewSink(false, 0)
+	d := core.NewWith(sink, opt)
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(rt, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, r := range sink.Races() {
+		set[fmt.Sprintf("%s[%d]:%v", r.Region, r.Index, r.Kind)] = true
+	}
+	return set
+}
+
+// TestPagedMatchesFlatOnPrograms is the paging differential quick-check:
+// the paged shadow and the flat ablation must report identical race sets
+// — the backing store is a pure representation change.
+func TestPagedMatchesFlatOnPrograms(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := Generate(seed, Config{})
+		paged := raceSet(t, p, core.Options{Sync: core.SyncCAS})
+		flat := raceSet(t, p, core.Options{Sync: core.SyncCAS, FlatShadow: true})
+		if len(paged) != len(flat) {
+			t.Fatalf("seed %d: paged %v != flat %v\n%s", seed, paged, flat, p)
+		}
+		for k := range paged {
+			if !flat[k] {
+				t.Fatalf("seed %d: race %s reported by paged only\n%s", seed, k, p)
+			}
+		}
+	}
+}
+
+// TestPagedFlatAgreeAcrossPageBoundaries hammers random sparse indices
+// clustered around shadow page boundaries — the indices most likely to
+// expose page-clipping or directory-indexing bugs — and checks that the
+// paged shadow and the flat ablation report identical race sets.
+func TestPagedFlatAgreeAcrossPageBoundaries(t *testing.T) {
+	const (
+		elems  = 3*shadow.PageSize + 7 // four pages, short last page
+		tasks  = 8
+		events = 40
+	)
+	type acc struct {
+		idx   int
+		write bool
+	}
+	for trial := int64(0); trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(1000 + trial))
+		scripts := make([][]acc, tasks)
+		for ti := range scripts {
+			for e := 0; e < events; e++ {
+				// Bias indices to within a few cells of a page boundary.
+				idx := rng.Intn(4)*shadow.PageSize + rng.Intn(7) - 3
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= elems {
+					idx = elems - 1
+				}
+				scripts[ti] = append(scripts[ti], acc{idx: idx, write: rng.Intn(3) == 0})
+			}
+		}
+		run := func(opt core.Options) map[string]bool {
+			sink := detect.NewSink(false, 0)
+			d := core.NewWith(sink, opt)
+			rt, err := task.New(task.Config{Executor: task.Sequential, Detector: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := d.NewShadow(detect.Spec("v", elems, 8))
+			if err := rt.Run(func(c *task.Ctx) {
+				c.Finish(func(c *task.Ctx) {
+					for _, s := range scripts {
+						s := s
+						c.Async(func(c *task.Ctx) {
+							for _, a := range s {
+								if a.write {
+									sh.Write(c.Task(), a.idx)
+								} else {
+									sh.Read(c.Task(), a.idx)
+								}
+							}
+						})
+					}
+				})
+			}); err != nil {
+				t.Fatal(err)
+			}
+			set := map[string]bool{}
+			for _, r := range sink.Races() {
+				set[fmt.Sprintf("%s[%d]:%v", r.Region, r.Index, r.Kind)] = true
+			}
+			return set
+		}
+		paged := run(core.Options{Sync: core.SyncCAS})
+		flat := run(core.Options{Sync: core.SyncCAS, FlatShadow: true})
+		if len(paged) != len(flat) {
+			t.Fatalf("trial %d: paged %v != flat %v", trial, paged, flat)
+		}
+		for k := range paged {
+			if !flat[k] {
+				t.Fatalf("trial %d: race %s reported by paged only", trial, k)
+			}
+		}
+	}
+}

@@ -174,7 +174,7 @@ type AccessHook func(c *task.Ctx, site int, isWrite bool)
 // Run executes p on rt against the detector's shadow memory and returns
 // the runtime error, if any.
 func Run(rt *task.Runtime, p *Program, hook AccessHook) error {
-	env := &execEnv{sh: rt.Detector().NewShadow("v", p.Vars, 8), hook: hook}
+	env := &execEnv{sh: rt.Detector().NewShadow(detect.Spec("v", p.Vars, 8)), hook: hook}
 	env.locks = make([]*detect.Lock, p.Locks)
 	env.mus = make([]sync.Mutex, p.Locks)
 	for i := range env.locks {

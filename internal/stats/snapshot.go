@@ -92,6 +92,10 @@ func (s Snapshot) String() string {
 	if v := s.Get(StepCacheHit); v != 0 {
 		fmt.Fprintf(&b, " | stepcache: %d hit", v)
 	}
+	if p := s.Get(ShadowPagesAllocated); p != 0 || s.Get(PageCacheHit) != 0 {
+		fmt.Fprintf(&b, " | shadow: %d pages, %d cache-hit, %d cache-miss",
+			p, s.Get(PageCacheHit), s.Get(PageCacheMiss))
+	}
 	fmt.Fprintf(&b, " | task: %d spawn, %d steal, %d inline",
 		s.Get(TaskSpawn), s.Get(TaskSteal), s.Get(TaskInline))
 	fmt.Fprintf(&b, " | race: %d reported, %d deduped, %d dropped",

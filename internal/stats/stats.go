@@ -90,6 +90,17 @@ const (
 	// RaceDropped counts distinct races dropped because the sink's
 	// buffer limit was hit.
 	RaceDropped
+	// ShadowPagesAllocated counts shadow pages materialized lazily on
+	// first access by the paged substrate (internal/shadow); together
+	// with footprint.shadow it shows how sparse a workload's monitored
+	// address space really is.
+	ShadowPagesAllocated
+	// PageCacheHit counts shadow-cell lookups served from the task's
+	// page cache (detect.Task.PC) without touching the page table.
+	PageCacheHit
+	// PageCacheMiss counts shadow-cell lookups that walked the page
+	// table (and, on a region's first touch of a page, allocated it).
+	PageCacheMiss
 
 	// NumCounters is the number of Counter values; not itself a
 	// counter.
@@ -98,20 +109,23 @@ const (
 
 // counterNames are the stable wire names used by Map and the JSON form.
 var counterNames = [NumCounters]string{
-	CASClean:     "cas.clean",
-	CASPublish:   "cas.publish",
-	CASRetry:     "cas.retry",
-	MutexOps:     "mutex.ops",
-	DMHPFast:     "dmhp.fast",
-	DMHPWalk:     "dmhp.walk",
-	DMHPMemoHit:  "dmhp.memo_hit",
-	StepCacheHit: "stepcache.hit",
-	TaskSpawn:    "task.spawn",
-	TaskSteal:    "task.steal",
-	TaskInline:   "task.inline",
-	RaceReported: "race.reported",
-	RaceDeduped:  "race.deduped",
-	RaceDropped:  "race.dropped",
+	CASClean:             "cas.clean",
+	CASPublish:           "cas.publish",
+	CASRetry:             "cas.retry",
+	MutexOps:             "mutex.ops",
+	DMHPFast:             "dmhp.fast",
+	DMHPWalk:             "dmhp.walk",
+	DMHPMemoHit:          "dmhp.memo_hit",
+	StepCacheHit:         "stepcache.hit",
+	TaskSpawn:            "task.spawn",
+	TaskSteal:            "task.steal",
+	TaskInline:           "task.inline",
+	RaceReported:         "race.reported",
+	RaceDeduped:          "race.deduped",
+	RaceDropped:          "race.dropped",
+	ShadowPagesAllocated: "shadow.pages_allocated",
+	PageCacheHit:         "shadow.page_cache_hit",
+	PageCacheMiss:        "shadow.page_cache_miss",
 }
 
 // String returns the counter's stable wire name.

@@ -153,7 +153,7 @@ func TestCilkRaceDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := d.NewShadow("x", 2, 8)
+	sh := d.NewShadow(detect.Spec("x", 2, 8))
 	err = rt.Run(func(c *Ctx) {
 		RunCilk(c, func(k *Cilk) {
 			k.Spawn(func(k *Cilk) { sh.Write(k.Ctx().Task(), 0) })

@@ -184,6 +184,7 @@ func (rt *Runtime) Run(root func(*Ctx)) error {
 		}()
 		rt.exec.wait(c, rootScope)
 		rt.det.FinishEnd(main, implicit)
+		rt.flushPageCache(main)
 	}
 	rt.exec.run(rt, &ptask{body: body, t: main, fin: rootScope})
 
@@ -398,9 +399,24 @@ type ptask struct {
 // observes all TaskEnds (see the detect package contract).
 func (rt *Runtime) finishTask(pt *ptask) {
 	rt.det.TaskEnd(pt.t)
+	rt.flushPageCache(pt.t)
 	if pt.fin.pending.Add(-1) == 0 {
 		rt.ec.Signal()
 	}
+}
+
+// flushPageCache moves the task's batched shadow page-cache tallies into
+// a stats shard. It runs on the task's own goroutine (finishTask for
+// spawned tasks, the end of Run for the main task), so reading the
+// task-owned cache is safe.
+func (rt *Runtime) flushPageCache(t *detect.Task) {
+	h, m := t.PC.TakeCounts()
+	if h|m == 0 || rt.st == nil {
+		return
+	}
+	sh := rt.st.Shard(int(t.ID))
+	sh.Add(stats.PageCacheHit, h)
+	sh.Add(stats.PageCacheMiss, m)
 }
 
 // executor abstracts over the three execution strategies.

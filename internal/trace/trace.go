@@ -46,6 +46,10 @@ const (
 	evNewShadow
 	evRead
 	evWrite
+	// evNewShadowGrow announces a growable region (no declared length):
+	// id, elemBytes, then the name. Appended after the original kinds so
+	// traces without growable regions stay byte-identical to format 1.
+	evNewShadowGrow
 )
 
 // Recorder is a detect.Detector that writes the event stream to w. It
@@ -161,14 +165,19 @@ func (r *Recorder) Release(t *detect.Task, l *detect.Lock) {
 	r.emit(evRelease, int64(t.ID), l.ID)
 }
 
-// NewShadow implements detect.Detector.
-func (r *Recorder) NewShadow(name string, n, elemBytes int) detect.Shadow {
+// NewShadow implements detect.Detector. Growable regions get their own
+// event kind; bounded ones keep the original wire encoding.
+func (r *Recorder) NewShadow(spec detect.ShadowSpec) detect.Shadow {
 	r.mu.Lock()
 	id := r.regions
 	r.regions++
 	r.mu.Unlock()
-	r.emit(evNewShadow, id, int64(n), int64(elemBytes))
-	r.emitString(name)
+	if spec.Growable {
+		r.emit(evNewShadowGrow, id, int64(spec.ElemBytes))
+	} else {
+		r.emit(evNewShadow, id, int64(spec.Len), int64(spec.ElemBytes))
+	}
+	r.emitString(spec.Name)
 	return &recShadow{r: r, id: id}
 }
 
@@ -265,6 +274,19 @@ const (
 	maxElemBytes = 1 << 20
 	maxNameLen   = 1 << 16
 )
+
+// regionName reads a length-prefixed region name off the stream.
+func (st *replayState) regionName(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil || n > maxNameLen {
+		return "", fmt.Errorf("trace: bad region name length (%v)", err)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return "", fmt.Errorf("trace: truncated region name: %w", err)
+	}
+	return string(name), nil
+}
 
 func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 	args := func(n int) ([]int64, error) {
@@ -371,19 +393,34 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		if a[2] < 0 || a[2] > maxElemBytes {
 			return fmt.Errorf("trace: element size %d out of range", a[2])
 		}
-		n, err := binary.ReadUvarint(br)
-		if err != nil || n > maxNameLen {
-			return fmt.Errorf("trace: bad region name length (%v)", err)
-		}
-		name := make([]byte, n)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return fmt.Errorf("trace: truncated region name: %w", err)
+		name, err := st.regionName(br)
+		if err != nil {
+			return err
 		}
 		if int(a[0]) != len(st.shadows) {
 			return fmt.Errorf("trace: region %d out of order", a[0])
 		}
-		st.shadows = append(st.shadows, st.det.NewShadow(string(name), int(a[1]), int(a[2])))
+		st.shadows = append(st.shadows, st.det.NewShadow(detect.Spec(name, int(a[1]), int(a[2]))))
 		st.sizes = append(st.sizes, a[1])
+	case evNewShadowGrow:
+		a, err := args(2)
+		if err != nil {
+			return err
+		}
+		if a[1] < 0 || a[1] > maxElemBytes {
+			return fmt.Errorf("trace: element size %d out of range", a[1])
+		}
+		name, err := st.regionName(br)
+		if err != nil {
+			return err
+		}
+		if int(a[0]) != len(st.shadows) {
+			return fmt.Errorf("trace: region %d out of order", a[0])
+		}
+		st.shadows = append(st.shadows, st.det.NewShadow(detect.GrowableSpec(name, int(a[1]))))
+		// Growable: no declared size. Indices are still bounded by
+		// MaxRegionElems so a hostile trace cannot force huge pages.
+		st.sizes = append(st.sizes, -1)
 	case evRead, evWrite:
 		a, err := args(3)
 		if err != nil {
@@ -392,8 +429,12 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		if a[0] < 0 || int(a[0]) >= len(st.shadows) {
 			return fmt.Errorf("trace: access to unknown region %d", a[0])
 		}
-		if a[2] < 0 || a[2] >= st.sizes[a[0]] {
-			return fmt.Errorf("trace: access index %d outside region of %d elements", a[2], st.sizes[a[0]])
+		bound := st.sizes[a[0]]
+		if bound < 0 {
+			bound = st.lim.MaxRegionElems
+		}
+		if a[2] < 0 || a[2] >= bound {
+			return fmt.Errorf("trace: access index %d outside region of %d elements", a[2], bound)
 		}
 		t := st.tasks[a[1]]
 		if t == nil {

@@ -34,6 +34,8 @@
 package spd3
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"spd3/internal/detect"
@@ -41,6 +43,18 @@ import (
 	"spd3/internal/mem"
 	"spd3/internal/stats"
 	"spd3/internal/task"
+)
+
+// Sentinel errors returned (wrapped) by New; test with errors.Is.
+var (
+	// ErrBadWorkers reports a negative Options.Workers.
+	ErrBadWorkers = errors.New("spd3: negative worker count")
+	// ErrUnknownDetector reports an Options.Detector name absent from
+	// the registry.
+	ErrUnknownDetector = errors.New("spd3: unknown detector")
+	// ErrExecutorMismatch reports an explicit Options.Executor the
+	// selected detector cannot run under (e.g. ESPBags with Pool).
+	ErrExecutorMismatch = errors.New("spd3: detector incompatible with selected executor")
 )
 
 // Ctx is the task context passed to every task body; it provides Async,
@@ -71,6 +85,12 @@ type Matrix[T any] = mem.Matrix[T]
 
 // Var is an instrumented shared variable.
 type Var[T any] = mem.Var[T]
+
+// List is a growable instrumented sequence backed by a growable shadow
+// region: no length is declared up front, elements never move, and
+// unsynchronized parallel Appends are reported as races on the list's
+// length cell.
+type List[T any] = mem.List[T]
 
 // Mutex is an instrumented lock (meaningful to FastTrack and Eraser).
 type Mutex = mem.Mutex
@@ -186,10 +206,18 @@ type Engine struct {
 
 // New validates opts and builds an Engine. The detector is constructed
 // through the detect registry, so any registered name — including hidden
-// ablation variants — is accepted.
+// ablation variants — is accepted. Invalid options are reported through
+// the typed sentinels ErrBadWorkers, ErrUnknownDetector, and
+// ErrExecutorMismatch, which callers match with errors.Is.
 func New(opts Options) (*Engine, error) {
 	if opts.Detector == "" {
 		opts.Detector = SPD3
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadWorkers, opts.Workers)
+	}
+	if !detect.Registered(string(opts.Detector)) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDetector, opts.Detector)
 	}
 	sink := detect.NewSink(opts.HaltOnFirstRace, opts.MaxRaces)
 	var rec *stats.Recorder
@@ -203,6 +231,9 @@ func New(opts Options) (*Engine, error) {
 	det, err := detect.New(string(opts.Detector), detect.FactoryOpts{Sink: sink, Stats: rec})
 	if err != nil {
 		return nil, err
+	}
+	if det.RequiresSequential() && opts.Executor != Auto && opts.Executor != Sequential {
+		return nil, fmt.Errorf("%w: detector %q requires sequential execution", ErrExecutorMismatch, opts.Detector)
 	}
 	rt, err := task.New(task.Config{
 		Workers:      opts.Workers,
@@ -225,14 +256,10 @@ type Report struct {
 	// Truncated is set when the race limit was hit.
 	Truncated bool
 	// Stats is the run's merged observability snapshot (zero except for
-	// Stats.Footprint when Options.NoStats is set).
+	// Stats.Footprint when Options.NoStats is set). The detector's
+	// memory accounting lives in Stats.Footprint; the deprecated
+	// top-level Footprint field it duplicated has been removed.
 	Stats Stats
-	// Footprint is the detector's memory accounting after the run.
-	//
-	// Deprecated: use Stats.Footprint, which carries the same value
-	// inside the run's snapshot. This field remains populated so
-	// existing callers keep working.
-	Footprint Footprint
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 }
@@ -264,7 +291,6 @@ func (e *Engine) Run(root func(*Ctx)) (*Report, error) {
 		Races:     e.sink.RacesSince(mark),
 		Truncated: e.sink.Capped(),
 		Stats:     snap,
-		Footprint: snap.Footprint,
 		Duration:  elapsed,
 	}
 	return rep, err
@@ -283,6 +309,11 @@ func NewMatrix[T any](e *Engine, name string, rows, cols int) *Matrix[T] {
 // NewVar allocates an instrumented shared variable.
 func NewVar[T any](e *Engine, name string, init T) *Var[T] {
 	return mem.NewVar(e.rt, name, init)
+}
+
+// NewList allocates an empty growable instrumented list.
+func NewList[T any](e *Engine, name string) *List[T] {
+	return mem.NewList[T](e.rt, name)
 }
 
 // NewMutex allocates an instrumented lock.

@@ -1,6 +1,7 @@
 package spd3_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -142,6 +143,9 @@ func TestESPBagsExecutorResolution(t *testing.T) {
 	if err == nil {
 		t.Fatal("ESPBags with explicit Pool executor accepted")
 	}
+	if !errors.Is(err, spd3.ErrExecutorMismatch) {
+		t.Fatalf("error is not ErrExecutorMismatch: %v", err)
+	}
 	if !strings.Contains(err.Error(), "sequential") {
 		t.Fatalf("error does not explain the executor requirement: %v", err)
 	}
@@ -246,8 +250,22 @@ func TestCaptureSites(t *testing.T) {
 }
 
 func TestUnknownDetectorRejected(t *testing.T) {
-	if _, err := spd3.New(spd3.Options{Detector: "quantum"}); err == nil {
+	_, err := spd3.New(spd3.Options{Detector: "quantum"})
+	if err == nil {
 		t.Fatal("unknown detector accepted")
+	}
+	if !errors.Is(err, spd3.ErrUnknownDetector) {
+		t.Fatalf("error is not ErrUnknownDetector: %v", err)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	_, err := spd3.New(spd3.Options{Workers: -1})
+	if err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if !errors.Is(err, spd3.ErrBadWorkers) {
+		t.Fatalf("error is not ErrBadWorkers: %v", err)
 	}
 }
 
@@ -269,15 +287,18 @@ func TestFootprintReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spd3.NewArray[int](eng, "a", 1000)
-	rep, err := eng.Run(func(c *spd3.Ctx) {})
+	a := spd3.NewArray[int](eng, "a", 1000)
+	// Shadow memory is paged in lazily, so touch an element to
+	// materialize a page.
+	rep, err := eng.Run(func(c *spd3.Ctx) { a.Set(c, 0, 1) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Footprint.ShadowBytes == 0 {
+	fp := rep.Stats.Footprint
+	if fp.ShadowBytes == 0 {
 		t.Fatal("footprint not reported")
 	}
-	if rep.Footprint.Total() < rep.Footprint.ShadowBytes {
+	if fp.Total() < fp.ShadowBytes {
 		t.Fatal("Total below ShadowBytes")
 	}
 }
@@ -299,7 +320,7 @@ func TestEngineReusable(t *testing.T) {
 			t.Fatalf("round %d: %v", round, rep.Races)
 		}
 	}
-	for i, v := range a.Raw() {
+	for i, v := range a.Unchecked() {
 		if v != 3 {
 			t.Fatalf("a[%d] = %d, want 3", i, v)
 		}
@@ -329,9 +350,56 @@ func TestSequentialExecutorOption(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	for i, v := range order.Raw() {
+	for i, v := range order.Unchecked() {
 		if v != i {
-			t.Fatalf("sequential executor ran out of order: %v", order.Raw())
+			t.Fatalf("sequential executor ran out of order: %v", order.Unchecked())
 		}
+	}
+}
+
+func TestListGrowsAndDetects(t *testing.T) {
+	// Sequential appends then parallel reads are race-free; the list's
+	// shadow region grows with it (no declared length).
+	eng, err := spd3.New(spd3.Options{Workers: 4, Detector: spd3.SPD3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := spd3.NewList[int](eng, "list")
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			for i := 0; i < 10000; i++ {
+				l.Append(c, i*i)
+			}
+		})
+		c.ParallelFor(0, 10000, 1, func(c *spd3.Ctx, i int) {
+			if got := l.Get(c, i); got != i*i {
+				t.Errorf("l[%d] = %d", i, got)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RaceFree() {
+		t.Fatalf("ordered append/read flagged: %v", rep.Races)
+	}
+	if l.UncheckedAt(9999) == nil || *l.UncheckedAt(9999) != 9999*9999 {
+		t.Fatal("UncheckedAt broken")
+	}
+
+	// Unsynchronized parallel appends race on the list's length cell.
+	eng2, err := spd3.New(spd3.Options{Workers: 4, Detector: spd3.SPD3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := spd3.NewList[int](eng2, "list2")
+	rep2, err := eng2.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(4, func(c *spd3.Ctx, i int) { l2.Append(c, i) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RaceFree() {
+		t.Fatal("parallel appends not reported as a race")
 	}
 }

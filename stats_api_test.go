@@ -110,8 +110,8 @@ func TestStatsReported(t *testing.T) {
 	if m["dmhp.fast"]+m["dmhp.walk"]+m["dmhp.memo_hit"] == 0 {
 		t.Errorf("no DMHP queries recorded (map: %v)", m)
 	}
-	if rep.Stats.Footprint != rep.Footprint {
-		t.Errorf("Stats.Footprint %v != deprecated Footprint %v", rep.Stats.Footprint, rep.Footprint)
+	if rep.Stats.Footprint.ShadowBytes == 0 {
+		t.Errorf("Stats.Footprint not populated: %+v", rep.Stats.Footprint)
 	}
 	if !strings.Contains(rep.Stats.String(), "mem:") {
 		t.Errorf("Stats.String() = %q", rep.Stats.String())
