@@ -1,0 +1,176 @@
+// Package analysis is a small, stdlib-only static-analysis framework for
+// programs written against the spd3 API, plus the four analyzers behind
+// cmd/spd3vet.
+//
+// SPD3's headline guarantee — one quiet execution certifies *all*
+// schedules of an input (PAPER §3, Theorems 1–2) — rests on two
+// preconditions the dynamic detector cannot check by itself:
+//
+//  1. every shared access goes through instrumented shadow memory
+//     (package mem routes Get/Set through the detector; Unchecked and
+//     friends deliberately do not), and
+//  2. all parallelism stays inside the structured async/finish
+//     discipline the DPST models (raw `go` statements, sync primitives,
+//     and channels are invisible to it).
+//
+// A program that violates either precondition silently voids the
+// guarantee: the detector still answers, but the answer no longer covers
+// the uninstrumented accesses or the unmodeled concurrency. The paper
+// closes the same gap with a compiler pass that instruments *every*
+// access (§5) and with static optimizations that elide checks only where
+// a proof exists (§5.5). This package is the Go-side analogue of that
+// proof obligation: a set of type-based checks that flag exactly the
+// places where the programmer stepped outside the detector's model.
+//
+// The framework follows the shape of golang.org/x/tools/go/analysis —
+// an Analyzer with a Run function over a Pass, reporting Diagnostics
+// with optional machine-applicable SuggestedFixes — but is built from
+// scratch on go/parser, go/ast, and go/types only, because this module
+// has no dependencies and must stay that way.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Version identifies the analysis subsystem in JSON reports.
+const Version = "1.0.0"
+
+// An Analyzer is one named check. Run inspects a type-checked package
+// through the Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name is the analyzer's identifier (also the diagnostic category):
+	// a short lowercase word, e.g. "unchecked".
+	Name string
+	// Doc is a one-paragraph description of what the check enforces and
+	// why violating it breaks the detector's guarantee.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run over one package: the syntax, the
+// type information, and the report sink. The same package is shared by
+// every analyzer; passes must not mutate it.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records one finding against the pass's analyzer.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf reports a finding at pos with a formatted message and no fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position, a message, and optionally a
+// machine-applicable rewrite.
+type Diagnostic struct {
+	// Pos is the finding's anchor in the pass's FileSet.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name (filled by Report).
+	Analyzer string
+	// Message states the violation and, where short, the remedy.
+	Message string
+	// Fix, when non-nil, rewrites the flagged code to the supported
+	// form; cmd/spd3vet applies it under -fix.
+	Fix *SuggestedFix
+}
+
+// A SuggestedFix is a set of text edits that together resolve one
+// diagnostic. Edits within one fix must not overlap.
+type SuggestedFix struct {
+	// Message describes the rewrite ("use Unchecked").
+	Message string
+	// Edits are the concrete replacements.
+	Edits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// Run executes every analyzer in analyzers over pkg and returns the
+// findings sorted by position. Analyzer errors (not findings) abort the
+// run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diags by file, line, column, then analyzer
+// name, for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// All returns the full analyzer suite in reporting order. The slice is
+// freshly allocated; callers may filter it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UncheckedAnalyzer,
+		CtxEscapeAnalyzer,
+		RawConcAnalyzer,
+		DeprecatedAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("unchecked,rawconc")
+// against the registered suite.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DeprecatedAnalyzer flags uses of retired spd3 API and carries the
+// machine-applicable rewrite for each (`spd3vet -fix`):
+//
+//   - Array.Raw / Matrix.Raw   → Unchecked
+//   - Matrix.Row               → UncheckedRow
+//   - Report.Footprint         → Report.Stats.Footprint
+//
+// The old names have been removed from the module, so in-tree code can
+// no longer compile against them; the analyzer exists for out-of-tree
+// users migrating across releases. It intentionally works from the
+// *receiver's* type rather than the (now nonexistent) member: when a
+// program written against the old API is loaded, the selection itself
+// fails to type-check, but the receiver still resolves, which is enough
+// to identify the container or report and rewrite the selector.
+var DeprecatedAnalyzer = &Analyzer{
+	Name: "deprecated",
+	Doc: "report retired spd3 API (Raw, Row, Report.Footprint) and suggest " +
+		"the machine-applicable rewrite",
+	Run: runDeprecated,
+}
+
+// deprecatedSelector maps an old member name to its replacement, keyed
+// by a receiver-type predicate.
+type deprecatedSelector struct {
+	recv        func(*Pass, ast.Expr) bool
+	replacement string
+}
+
+func runDeprecated(pass *Pass) error {
+	isContainer := func(p *Pass, x ast.Expr) bool {
+		tv, ok := p.Info.Types[x]
+		return ok && isMemContainer(tv.Type)
+	}
+	isMatrix := func(p *Pass, x ast.Expr) bool {
+		tv, ok := p.Info.Types[x]
+		return ok && namedIn(tv.Type, memPkgPath, "Matrix")
+	}
+	isReport := func(p *Pass, x ast.Expr) bool {
+		tv, ok := p.Info.Types[x]
+		return ok && namedIn(tv.Type, rootPkgPath, "Report")
+	}
+	rules := map[string]deprecatedSelector{
+		"Raw":       {recv: isContainer, replacement: "Unchecked"},
+		"Row":       {recv: isMatrix, replacement: "UncheckedRow"},
+		"Footprint": {recv: isReport, replacement: "Stats.Footprint"},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			rule, ok := rules[sel.Sel.Name]
+			if !ok || !rule.recv(pass, sel.X) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: sel.Sel.Pos(),
+				Message: "deprecated " + sel.Sel.Name + " was removed; use " +
+					rule.replacement,
+				Fix: &SuggestedFix{
+					Message: "rewrite " + sel.Sel.Name + " to " + rule.replacement,
+					Edits: []TextEdit{{
+						Pos:     sel.Sel.Pos(),
+						End:     sel.Sel.End(),
+						NewText: rule.replacement,
+					}},
+				},
+			})
+			return true
+		})
+	}
+	return nil
+}

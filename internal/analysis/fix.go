@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes rewrites the source files behind every diagnostic that
+// carries a SuggestedFix, gofmts the results, and writes them back. It
+// returns the diagnostics that had no fix (still outstanding) and the
+// number of fixes applied. Overlapping edits in one file are rejected
+// rather than half-applied.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (remaining []Diagnostic, applied int, err error) {
+	type edit struct {
+		off, end int
+		text     string
+	}
+	byFile := make(map[string][]edit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			remaining = append(remaining, d)
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			p, q := fset.Position(e.Pos), fset.Position(e.End)
+			if p.Filename == "" || p.Filename != q.Filename {
+				return nil, 0, fmt.Errorf("analysis: fix edit spans files (%s, %s)", p.Filename, q.Filename)
+			}
+			byFile[p.Filename] = append(byFile[p.Filename], edit{off: p.Offset, end: q.Offset, text: e.NewText})
+		}
+		applied++
+	}
+	for name, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].off > edits[j].off })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].off {
+				return nil, 0, fmt.Errorf("analysis: overlapping fix edits in %s", name)
+			}
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: %w", err)
+		}
+		for _, e := range edits {
+			if e.off < 0 || e.end > len(src) || e.off > e.end {
+				return nil, 0, fmt.Errorf("analysis: fix edit out of range in %s", name)
+			}
+			src = append(src[:e.off], append([]byte(e.text), src[e.end:]...)...)
+		}
+		if fmted, err := format.Source(src); err == nil {
+			src = fmted
+		}
+		info, err := os.Stat(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: %w", err)
+		}
+		if err := os.WriteFile(name, src, info.Mode().Perm()); err != nil {
+			return nil, 0, fmt.Errorf("analysis: %w", err)
+		}
+	}
+	return remaining, applied, nil
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden harness: fixture packages under testdata annotate expected
+// findings with `// want `+"`regex`"+`` comments (or /* want ... */
+// block comments) on the flagged line. Running an analyzer over the
+// fixture must produce exactly the annotated findings — a diagnostic
+// with no want, or a want with no diagnostic, fails the test. Because
+// the wants live with the fixtures, disabling a check turns its wants
+// into missing diagnostics and the test fails.
+
+// wantRx extracts the expectation regex from a comment: backquoted or
+// double-quoted after the word "want".
+var wantRx = regexp.MustCompile("want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// parseWants returns the expected-diagnostic regexes per line of f.
+func parseWants(t *testing.T, pkg *Package, f *ast.File) map[int][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[int][]*regexp.Regexp)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			m := wantRx.FindStringSubmatch(text)
+			if m == nil {
+				t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+			}
+			pat := m[1]
+			if pat[0] == '`' {
+				pat = pat[1 : len(pat)-1]
+			} else if unq, err := strconv.Unquote(pat); err == nil {
+				pat = unq
+			}
+			rx, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			wants[line] = append(wants[line], rx)
+		}
+	}
+	return wants
+}
+
+// runGolden loads the fixture directory, runs the given analyzers plus
+// the suppression filter, and matches the result against the want
+// annotations.
+func runGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, _ = Suppress(pkg, diags)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for line, rxs := range parseWants(t, pkg, f) {
+			wants[key{name, line}] = append(wants[key{name, line}], rxs...)
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", pos, d.Message, d.Analyzer)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("missing diagnostic at %s:%d matching %q", k.file, k.line, rx)
+		}
+	}
+}
+
+func TestUncheckedGolden(t *testing.T) {
+	runGolden(t, "testdata/unchecked/bad", UncheckedAnalyzer)
+}
+
+func TestUncheckedNoFalsePositives(t *testing.T) {
+	// The safe fixture has no want annotations: any diagnostic fails.
+	runGolden(t, "testdata/unchecked/safe", All()...)
+}
+
+func TestCtxEscapeGolden(t *testing.T) {
+	runGolden(t, "testdata/ctxescape/bad", CtxEscapeAnalyzer)
+}
+
+func TestRawConcGolden(t *testing.T) {
+	runGolden(t, "testdata/rawconc/bad", RawConcAnalyzer)
+}
+
+func TestDeprecatedGolden(t *testing.T) {
+	runGolden(t, "testdata/deprecated/bad", DeprecatedAnalyzer)
+}
+
+func TestSuppressGolden(t *testing.T) {
+	runGolden(t, "testdata/suppress/bad", RawConcAnalyzer)
+}
+
+// TestSuppressCounts pins the mechanics the golden matcher can't see:
+// the justified directive suppresses exactly one finding.
+func TestSuppressCounts(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/suppress/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{RawConcAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed := Suppress(pkg, diags)
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", suppressed)
+	}
+	// Two findings survive: the unsuppressed go statement and the
+	// reason-less directive.
+	if len(kept) != 2 {
+		t.Errorf("kept = %d findings (%v), want 2", len(kept), kept)
+	}
+}
+
+// TestDiagnosticPositions pins that findings carry accurate positions:
+// the known-bad unchecked fixture reports the capture on the exact
+// line and column of the captured identifier.
+func TestDiagnosticPositions(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/unchecked/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{UncheckedAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics on known-bad fixture")
+	}
+	pos := pkg.Fset.Position(diags[0].Pos)
+	if !strings.HasSuffix(pos.Filename, "bad.go") || pos.Line != 15 || pos.Column != 4 {
+		t.Errorf("first finding at %s, want .../bad.go:15:4 (the captured raw[i] write)", pos)
+	}
+	if diags[0].Analyzer != "unchecked" {
+		t.Errorf("analyzer = %q, want unchecked", diags[0].Analyzer)
+	}
+}
+
+// TestJSONEnvelope pins the wire format: the same tool/version header
+// over a findings array that the other commands' -stats dumps use.
+func TestJSONEnvelope(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/deprecated/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{DeprecatedAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewJSONReport(pkg.Fset, diags)
+	if rep.Tool != "spd3vet" || rep.Version != Version {
+		t.Errorf("envelope header = %q/%q", rep.Tool, rep.Version)
+	}
+	if len(rep.Findings) != 3 {
+		t.Fatalf("findings = %d, want 3", len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "deprecated" || f.Line == 0 || f.Col == 0 || f.Fix == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, pkg.Fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tool": "spd3vet"`, `"findings"`, fmt.Sprintf("%q", Version)} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, sb.String())
+		}
+	}
+}

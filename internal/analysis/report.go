@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// Reporting. The text form is the conventional one-line-per-finding
+// compiler style. The JSON form uses the same envelope style as the
+// other tools' -stats dumps (a tool/version header over a findings
+// array), so the experiment harness can ingest vet results next to
+// benchmark snapshots.
+
+// JSONFinding is one diagnostic in wire form.
+type JSONFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Fix carries the suggested rewrite's description when one exists
+	// (apply with spd3vet -fix).
+	Fix string `json:"fix,omitempty"`
+}
+
+// JSONReport is the envelope emitted by spd3vet -json.
+type JSONReport struct {
+	Tool     string        `json:"tool"`
+	Version  string        `json:"version"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// NewJSONReport converts diagnostics to the wire envelope.
+func NewJSONReport(fset *token.FileSet, diags []Diagnostic) *JSONReport {
+	rep := &JSONReport{Tool: "spd3vet", Version: Version, Findings: []JSONFinding{}}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		f := JSONFinding{
+			Analyzer: d.Analyzer,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+		}
+		if d.Fix != nil {
+			f.Fix = d.Fix.Message
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}
+
+// WriteJSON emits the envelope as indented JSON.
+func WriteJSON(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	out, err := json.MarshalIndent(NewJSONReport(fset, diags), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
+}
+
+// WriteText emits one file:line:col: message [analyzer] line per
+// diagnostic.
+func WriteText(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file recognizes the spd3 API surface in type-checked syntax: the
+// task context, the instrumented containers, and — most importantly —
+// the call sites whose function-literal argument runs as a task body,
+// possibly on a *different* task than the enclosing code. Those spawn
+// boundaries are where the DPST forks (PAPER §3.1): data or contexts
+// crossing them uninstrumented is exactly what voids the detector's
+// guarantee.
+
+// Import paths of the packages whose API the analyzers model. The root
+// package re-exports the internal types as aliases, so recognizing the
+// internal named types covers both spellings.
+const (
+	taskPkgPath = "spd3/internal/task"
+	memPkgPath  = "spd3/internal/mem"
+	rootPkgPath = "spd3"
+)
+
+// namedIn reports whether t (after stripping pointers and aliases) is
+// the named type pkgPath.name, and returns the stripped named type.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isCtx reports whether t is task.Ctx / *task.Ctx (a.k.a. spd3.Ctx).
+func isCtx(t types.Type) bool { return namedIn(t, taskPkgPath, "Ctx") }
+
+// isMemContainer reports whether t is (a pointer to) one of the
+// instrumented containers in internal/mem.
+func isMemContainer(t types.Type) bool {
+	for _, name := range [...]string{"Array", "Matrix", "Var", "List"} {
+		if namedIn(t, memPkgPath, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// uncheckedMethods are the container escape hatches that bypass
+// instrumentation (the programmer-directed §5.5 check eliminations).
+var uncheckedMethods = map[string]bool{
+	"Unchecked":    true,
+	"UncheckedRow": true,
+	"UncheckedAt":  true,
+}
+
+// recvType returns the type of a method call's receiver expression, or
+// nil when the call is not a selector call or the receiver did not
+// type-check.
+func recvType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isUncheckedCall reports whether call invokes one of the Unchecked*
+// escape hatches on an instrumented container, returning the method
+// name.
+func isUncheckedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !uncheckedMethods[sel.Sel.Name] {
+		return "", false
+	}
+	if !isMemContainer(recvType(info, call)) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// A taskClosure is a function literal that executes as a task body.
+type taskClosure struct {
+	lit *ast.FuncLit
+	// api is the spawning call ("Async", "ParallelFor", "Run", ...).
+	api string
+	// spawned is true when the literal runs as a *different* task than
+	// the enclosing code (Async, FinishAsync, ParallelFor, Cilk.Spawn):
+	// free variables of such a closure are shared across tasks. It is
+	// false for bodies that run on the current task (Engine.Run,
+	// Runtime.Run, Ctx.Finish, RunCilk), which still execute under the
+	// detector and so matter to the rawconc analyzer.
+	spawned bool
+}
+
+// closureArg describes where a task-body literal sits in an API call's
+// argument list.
+type closureArg struct {
+	arg     int
+	spawned bool
+}
+
+// Ctx methods taking a task-body literal, by method name.
+var ctxBodyArgs = map[string]closureArg{
+	"Async":       {arg: 0, spawned: true},
+	"FinishAsync": {arg: 1, spawned: true},
+	"ParallelFor": {arg: 3, spawned: true},
+	"Finish":      {arg: 0, spawned: false},
+}
+
+// taskClosures finds every function literal in the pass that is passed
+// directly to a task-body API call site.
+func taskClosures(pass *Pass) []taskClosure {
+	var out []taskClosure
+	add := func(call *ast.CallExpr, ca closureArg, api string) {
+		if ca.arg >= len(call.Args) {
+			return
+		}
+		if lit, ok := call.Args[ca.arg].(*ast.FuncLit); ok {
+			out = append(out, taskClosure{lit: lit, api: api, spawned: ca.spawned})
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			// Package-level RunCilk(c, body): body runs on the current
+			// task.
+			if name == "RunCilk" {
+				if obj, ok := pass.Info.Uses[sel.Sel]; ok {
+					if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
+						(fn.Pkg().Path() == taskPkgPath || fn.Pkg().Path() == rootPkgPath) && fn.Type().(*types.Signature).Recv() == nil {
+						add(call, closureArg{arg: 1, spawned: false}, "RunCilk")
+						return true
+					}
+				}
+			}
+			rt := recvType(pass.Info, call)
+			if rt == nil {
+				return true
+			}
+			switch {
+			case isCtx(rt):
+				if ca, ok := ctxBodyArgs[name]; ok {
+					add(call, ca, name)
+				}
+			case namedIn(rt, taskPkgPath, "Cilk") && name == "Spawn":
+				add(call, closureArg{arg: 0, spawned: true}, "Spawn")
+			case (namedIn(rt, rootPkgPath, "Engine") || namedIn(rt, taskPkgPath, "Runtime")) && name == "Run":
+				add(call, closureArg{arg: 0, spawned: false}, "Run")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// within reports whether pos lies inside lit's body.
+func within(lit *ast.FuncLit, n ast.Node) bool {
+	return n.Pos() >= lit.Body.Pos() && n.End() <= lit.Body.End()
+}
+
+// declaredOutside reports whether obj was declared outside lit, i.e.
+// the closure refers to it as a captured free variable.
+func declaredOutside(lit *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a comment of the form
+//
+//	//spd3vet:ignore <reason>
+//
+// on the flagged line (or the line immediately above it) drops every
+// diagnostic for that line. The reason is mandatory — an unsuppressed
+// guarantee hole should cost at least one written justification — and
+// directives without one are themselves reported as findings, so a bare
+// ignore cannot silently widen the gap.
+
+const ignoreDirective = "spd3vet:ignore"
+
+// suppressedLines scans a file's comments and returns the set of lines
+// (in fset coordinates) covered by a valid ignore directive, plus a
+// diagnostic for each malformed (reason-less) directive.
+func suppressedLines(fset *token.FileSet, f *ast.File) (map[int]bool, []Diagnostic) {
+	lines := make(map[int]bool)
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+ignoreDirective)
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(text) == "" {
+				bad = append(bad, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "suppress",
+					Message:  "spd3vet:ignore directive without a reason; write //spd3vet:ignore <why this is safe>",
+				})
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			// The directive covers its own line (trailing comment) and
+			// the next line (comment above the flagged statement).
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines, bad
+}
+
+// Suppress drops diagnostics covered by ignore directives in pkg's
+// files and appends a finding for every malformed directive. It returns
+// the surviving diagnostics and the number suppressed.
+func Suppress(pkg *Package, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	byFile := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		lines, bad := suppressedLines(pkg.Fset, f)
+		byFile[name] = lines
+		kept = append(kept, bad...)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if byFile[pos.Filename][pos.Line] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	SortDiagnostics(pkg.Fset, kept)
+	return kept, suppressed
+}

@@ -1,0 +1,27 @@
+// Package bad exercises the ctxescape analyzer: task contexts leaving
+// the dynamic extent of the task they belong to.
+package bad
+
+import "spd3"
+
+var leaked *spd3.Ctx
+
+type holder struct{ c *spd3.Ctx }
+
+func escapes(eng *spd3.Engine) {
+	var h holder
+	var box [1]*spd3.Ctx
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.Async(func(inner *spd3.Ctx) {
+			_ = inner // the spawned task's own Ctx: fine
+		})
+		c.Async(func(_ *spd3.Ctx) {
+			c.Finish(func(c *spd3.Ctx) {}) // want `\*spd3\.Ctx "c" captured by a task spawned by Async`
+		})
+		leaked = c       // want `stored in package-level variable "leaked"`
+		h.c = c          // want `stored in a struct field`
+		box[0] = c       // want `stored in a collection element`
+		_ = holder{c: c} // want `stored in a composite literal`
+	})
+	_, _ = h, box
+}

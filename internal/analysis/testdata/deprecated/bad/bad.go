@@ -1,0 +1,16 @@
+// Package bad exercises the deprecated analyzer. It is written against
+// API that no longer exists (Raw, Row, Report.Footprint), so it does
+// not compile — the loader tolerates the type errors, and the receiver
+// types are still enough to identify and rewrite each use.
+package bad
+
+import "spd3"
+
+func old(eng *spd3.Engine, rep *spd3.Report) (int, int, float64) {
+	a := spd3.NewArray[int](eng, "a", 8)
+	m := spd3.NewMatrix[int](eng, "m", 2, 2)
+	x := a.Raw()[0]     // want `deprecated Raw was removed; use Unchecked`
+	y := m.Row(0)[0]    // want `deprecated Row was removed; use UncheckedRow`
+	fp := rep.Footprint // want `deprecated Footprint was removed; use Stats\.Footprint`
+	return x, y, float64(fp.Total())
+}

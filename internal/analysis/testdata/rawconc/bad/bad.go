@@ -1,0 +1,37 @@
+// Package bad exercises the rawconc analyzer: parallelism and ordering
+// constructs the DPST does not model, inside task bodies.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spd3"
+)
+
+var counter int64
+
+func rawConcurrency(eng *spd3.Engine) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan int, 1)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		go background() // want `go statement inside a task body \(Run\)`
+		c.Async(func(c *spd3.Ctx) {
+			mu.Lock()                    // want `sync\.Mutex\.Lock inside a task body \(Async\)`
+			defer mu.Unlock()            // want `sync\.Mutex\.Unlock inside a task body \(Async\)`
+			atomic.AddInt64(&counter, 1) // want `sync/atomic\.AddInt64 inside a task body \(Async\)`
+			ch <- 1                      // want `channel send inside a task body \(Async\)`
+			<-ch                         // want `channel receive inside a task body \(Async\)`
+		})
+		c.Finish(func(c *spd3.Ctx) {
+			wg.Wait()      // want `sync\.WaitGroup\.Wait inside a task body \(Finish\)`
+			select {}      // want `select statement inside a task body \(Finish\)`
+			for range ch { // want `range over a channel inside a task body \(Finish\)`
+				_ = 0
+			}
+		})
+	})
+}
+
+func background() {}

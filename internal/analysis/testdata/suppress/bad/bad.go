@@ -1,0 +1,18 @@
+// Package bad exercises the //spd3vet:ignore suppression directive: a
+// justified directive silences the finding on its own and the next
+// line, and a directive without a reason is itself a finding.
+package bad
+
+import "spd3"
+
+func suppressed(eng *spd3.Engine) {
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		//spd3vet:ignore fixture: the goroutine touches no instrumented data and is joined before any spawn
+		go first()
+		go second() // want `go statement inside a task body \(Run\)`
+		_ = 0       /* want `directive without a reason` */ //spd3vet:ignore
+	})
+}
+
+func first()  {}
+func second() {}

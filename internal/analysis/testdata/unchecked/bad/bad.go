@@ -1,0 +1,30 @@
+// Package bad exercises the unchecked analyzer: escape-hatch data
+// crossing spawn boundaries, where its accesses become invisible to
+// the detector.
+package bad
+
+import "spd3"
+
+func shareAcrossSpawn(eng *spd3.Engine) {
+	a := spd3.NewArray[int](eng, "a", 64)
+	m := spd3.NewMatrix[float64](eng, "m", 8, 8)
+	raw := a.Unchecked()
+	row := m.UncheckedRow(3)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(8, func(c *spd3.Ctx, i int) {
+			raw[i] = i // want `uninstrumented data "raw" \(from the Unchecked call at .*bad\.go:11:\d+\) is captured by a task spawned by FinishAsync`
+		})
+		c.ParallelFor(0, 8, 1, func(c *spd3.Ctx, i int) {
+			row[0] += float64(i) // want `uninstrumented data "row" .* captured by a task spawned by ParallelFor`
+		})
+		c.Async(func(c *spd3.Ctx) {
+			inner := a.Unchecked() // want `Unchecked\(\) inside a task spawned by Async bypasses instrumentation`
+			_ = inner
+		})
+		spd3.RunCilk(c, func(k *spd3.Cilk) {
+			k.Spawn(func(k *spd3.Cilk) {
+				_ = raw[0] // want `uninstrumented data "raw" .* captured by a task spawned by Spawn`
+			})
+		})
+	})
+}

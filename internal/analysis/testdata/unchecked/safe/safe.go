@@ -1,0 +1,25 @@
+// Package safe uses the escape hatches only in provably sequential
+// phases — before the engine runs and after the top-level join — which
+// is exactly the pattern the paper's §5.5 static check eliminations
+// bless. The unchecked analyzer must report nothing here.
+package safe
+
+import "spd3"
+
+func sequentialPhases(eng *spd3.Engine) float64 {
+	a := spd3.NewArray[float64](eng, "a", 64)
+	raw := a.Unchecked() // main task, before any parallelism
+	for i := range raw {
+		raw[i] = float64(i)
+	}
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(8, func(c *spd3.Ctx, i int) {
+			a.Set(c, i, a.Get(c, i)+1) // instrumented: the detector sees these
+		})
+	})
+	sum := 0.0
+	for _, v := range a.Unchecked() { // after the join: sequential again
+		sum += v
+	}
+	return sum
+}

@@ -112,11 +112,6 @@ func (a *Array[T]) Update(c *task.Ctx, i int, f func(T) T) {
 // eliminations (main-task, read-only, and escape-analysis elimination).
 func (a *Array[T]) Unchecked() []T { return a.data }
 
-// Raw is the former name of Unchecked.
-//
-// Deprecated: use Unchecked. Kept one release for migration.
-func (a *Array[T]) Raw() []T { return a.Unchecked() }
-
 // Matrix is a two-dimensional instrumented array stored in row-major
 // order; element (i,j) has shadow index i*cols+j.
 type Matrix[T any] struct {
@@ -198,16 +193,6 @@ func (m *Matrix[T]) UncheckedRow(i int) []T { return m.data[i*m.cols : (i+1)*m.c
 // Unchecked returns the whole backing store without instrumentation;
 // see Array.Unchecked.
 func (m *Matrix[T]) Unchecked() []T { return m.data }
-
-// Row is the former name of UncheckedRow.
-//
-// Deprecated: use UncheckedRow. Kept one release for migration.
-func (m *Matrix[T]) Row(i int) []T { return m.UncheckedRow(i) }
-
-// Raw is the former name of Unchecked.
-//
-// Deprecated: use Unchecked. Kept one release for migration.
-func (m *Matrix[T]) Raw() []T { return m.Unchecked() }
 
 // Var is a single instrumented shared variable.
 type Var[T any] struct {

@@ -129,7 +129,7 @@ func TestMatrixIndexing(t *testing.T) {
 		t.Errorf("Row(1)[3] = %d", got)
 	}
 	if len(m.Unchecked()) != 15 {
-		t.Errorf("Raw len = %d", len(m.Unchecked()))
+		t.Errorf("Unchecked len = %d", len(m.Unchecked()))
 	}
 	if !sink.Empty() {
 		t.Fatalf("races: %v", sink.Races())

@@ -29,6 +29,7 @@ type Cilk struct {
 // may Spawn and Sync, and a final implicit Sync runs before RunCilk
 // returns.
 func RunCilk(c *Ctx, body func(k *Cilk)) {
+	//spd3vet:ignore runtime-internal: Cilk is a same-task view over c, never passed across a spawn (Spawn wraps children in RunCilk with their own Ctx)
 	k := &Cilk{c: c}
 	body(k)
 	k.Sync()
