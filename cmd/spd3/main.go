@@ -16,6 +16,12 @@
 //	spd3 -replay sor.trc -detector spd3
 //	spd3 -replay sor.trc -detector fasttrack
 //
+// Recorded traces are also the unit of work of the spd3d analysis
+// service: POST one to a running daemon instead of replaying locally
+// (see cmd/spd3d, and cmd/spd3load for service-level benchmarks):
+//
+//	curl -fsS --data-binary @sor.trc 'http://127.0.0.1:7331/v1/analyze?detector=all'
+//
 // Detectors come from the detect registry (see -detector's usage string
 // for the current list); hidden ablation variants such as spd3-walk are
 // accepted by name as well.
@@ -23,6 +29,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +55,7 @@ func main() {
 		scale     = flag.Float64("scale", 1, "problem-size multiplier")
 		chunked   = flag.Bool("chunked", false, "coarse one-chunk-per-worker loops")
 		halt      = flag.Bool("halt", false, "stop checking after the first race (paper semantics)")
-		record    = flag.String("record", "", "record the execution trace to this file instead of detecting")
+		record    = flag.String("record", "", "record the execution trace to this file instead of detecting (replay with -replay or POST to spd3d)")
 		replay    = flag.String("replay", "", "replay a recorded trace into -detector instead of executing")
 		statsDump = flag.Bool("stats", false, "append the run's observability snapshot as JSON")
 		workload  = flag.Bool("workload", false, "print workload statistics (tasks, finishes, per-region traffic) instead of detecting")
@@ -131,7 +138,18 @@ func main() {
 		defer f.Close()
 		start := time.Now()
 		if err := trace.Replay(f, det); err != nil {
-			fmt.Fprintln(os.Stderr, "spd3:", err)
+			// The typed trace errors let us say what went wrong with the
+			// file instead of dumping a decoder position.
+			switch {
+			case errors.Is(err, trace.ErrBadMagic):
+				fmt.Fprintf(os.Stderr, "spd3: %s is not an SPD3 trace (record one with -record)\n", *replay)
+			case errors.Is(err, trace.ErrTruncated):
+				fmt.Fprintf(os.Stderr, "spd3: %s is truncated — the recording was interrupted or the copy is partial (%v)\n", *replay, err)
+			case errors.Is(err, trace.ErrSequentialOnly):
+				fmt.Fprintf(os.Stderr, "spd3: detector %q only accepts depth-first traces; re-record with a sequential-only detector selected (e.g. -detector %s -record)\n", detName, detName)
+			default:
+				fmt.Fprintln(os.Stderr, "spd3:", err)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("replayed  : %s into %s in %v\n", *replay, det.Name(), time.Since(start))

@@ -1,0 +1,105 @@
+// Command spd3d is the networked trace-analysis daemon: it accepts
+// traces recorded by spd3 -record (or any trace.Recorder) over HTTP and
+// replays them into any detector from the detect registry.
+//
+// Usage:
+//
+//	spd3d -addr :7331
+//	curl -fsS --data-binary @sor.trc 'http://127.0.0.1:7331/v1/analyze?detector=spd3'
+//	curl -fsS --data-binary @sor.trc 'http://127.0.0.1:7331/v1/analyze?detector=all'
+//	curl -fsS http://127.0.0.1:7331/v1/detectors
+//	curl -fsS http://127.0.0.1:7331/statsz
+//
+// The daemon bounds concurrent analyses (-inflight, 429 beyond it), caps
+// upload size (-max-body, 413), enforces a per-request analysis deadline
+// that cancels the running replay (-timeout, 504), and drains in-flight
+// work before exiting on SIGINT/SIGTERM. Use cmd/spd3load to measure
+// its service-level throughput and latency.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"spd3/internal/detect"
+	_ "spd3/internal/detectors" // populate the detector registry
+	"spd3/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7331", "listen address")
+		inflight     = flag.Int("inflight", 0, "max concurrent analyses (0 = GOMAXPROCS); excess requests get 429")
+		maxBodyMB    = flag.Int64("max-body-mb", 64, "trace upload cap in MiB; larger uploads get 413")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request analysis deadline (cancels the replay); negative disables")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "HTTP write timeout")
+		drainWait    = flag.Duration("drain", 30*time.Second, "max wait for in-flight analyses on shutdown")
+		races        = flag.Int("races", 256, "max races carried per JSON verdict")
+		quiet        = flag.Bool("quiet", false, "suppress per-analysis log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "spd3d: ", log.LstdFlags)
+	srvLog := logger
+	if *quiet {
+		srvLog = nil
+	}
+	srv := server.New(server.Config{
+		MaxInFlight:       *inflight,
+		MaxBodyBytes:      *maxBodyMB << 20,
+		RequestTimeout:    *timeout,
+		MaxRacesPerReport: *races,
+		Log:               srvLog,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	hs := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	var names []string
+	for _, d := range detect.Describe() {
+		names = append(names, d.Name)
+	}
+	logger.Printf("listening on %s (detectors: %s)", ln.Addr(), strings.Join(names, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: refuse new analyses (503), let in-flight ones
+	// finish, then close the listener and idle connections.
+	logger.Printf("shutting down: draining %d in-flight analyses", srv.InFlight())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v (abandoning in-flight analyses)", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "spd3d: bye")
+}

@@ -1,0 +1,218 @@
+// Command spd3load measures the service-level performance of a running
+// spd3d daemon: it records one benchmark trace in-process (record once —
+// SPD3's Theorem 1 makes that single trace certify all schedules of the
+// input), then hammers the daemon's analyze endpoint with N concurrent
+// connections and prints throughput and latency percentiles.
+//
+// Usage:
+//
+//	spd3d -addr :7331 &
+//	spd3load -addr http://127.0.0.1:7331 -bench SOR -scale 0.2 -c 8 -n 200
+//	spd3load -addr http://127.0.0.1:7331 -racy RacyMonteCarlo -detector all -d 10s
+//
+// Rejections from the daemon's admission control (429 saturated / 503
+// draining) are counted separately from hard failures: saturating the
+// server is an expected outcome of a load test, not an error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spd3/internal/bench"
+	_ "spd3/internal/detectors" // populate the detector registry (recording needs none, listing does)
+	"spd3/internal/server"
+	"spd3/internal/task"
+	"spd3/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7331", "spd3d base URL")
+		name     = flag.String("bench", "SOR", "benchmark to record (see spd3 -list)")
+		racy     = flag.String("racy", "", "record a deliberately racy variant instead of -bench")
+		detector = flag.String("detector", "spd3", "detector the daemon should run (or \"all\")")
+		scale    = flag.Float64("scale", 0.2, "problem-size multiplier for the recorded run")
+		chunked  = flag.Bool("chunked", false, "coarse one-chunk-per-worker loops")
+		seq      = flag.Bool("seq", false, "record depth-first (required for sequential-only detectors)")
+		workers  = flag.Int("workers", 4, "worker count for the recorded run")
+		conc     = flag.Int("c", 8, "concurrent connections")
+		total    = flag.Int("n", 100, "total requests (ignored when -d is set)")
+		duration = flag.Duration("d", 0, "run for this long instead of a fixed request count")
+	)
+	flag.Parse()
+
+	data, err := recordTrace(*name, *racy, *scale, *chunked, *seq, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spd3load:", err)
+		os.Exit(1)
+	}
+	label := *name
+	if *racy != "" {
+		label = *racy
+	}
+	fmt.Printf("trace     : %s (%d bytes, sequential=%v)\n", label, len(data), *seq)
+
+	client := server.NewClient(*addr)
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "spd3load: daemon at %s not healthy: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	res := run(ctx, client, *detector, data, *conc, *total, *duration)
+	fmt.Print(res.summary(*detector, len(data)))
+	if res.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// recordTrace runs the selected benchmark once under the trace recorder
+// and returns the trace bytes.
+func recordTrace(name, racy string, scale float64, chunked, seq bool, workers int) ([]byte, error) {
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, seq)
+	exec := task.Pool
+	if seq {
+		exec, workers = task.Sequential, 1
+	}
+	rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: rec})
+	if err != nil {
+		return nil, err
+	}
+	in := bench.Input{Scale: scale, Chunked: chunked}
+	if racy != "" {
+		for _, rb := range bench.Racy() {
+			if rb.Name == racy {
+				if rb.NeedsParallel && seq {
+					return nil, fmt.Errorf("racy variant %q needs the parallel executor; drop -seq", racy)
+				}
+				if _, err := rb.Run(rt, in); err != nil {
+					return nil, err
+				}
+				if err := rec.Close(); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown racy variant %q", racy)
+	}
+	b, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := b.Run(rt, in); err != nil {
+		return nil, err
+	}
+	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// result aggregates one load run.
+type result struct {
+	ok, rejected, failed int
+	racy                 bool
+	latencies            []time.Duration // successful requests only
+	elapsed              time.Duration
+	firstErr             error
+}
+
+// run hammers the daemon with conc connections until total requests have
+// been issued (or d has elapsed, when d > 0).
+func run(ctx context.Context, client *server.Client, detector string, data []byte, conc, total int, d time.Duration) *result {
+	var (
+		issued   atomic.Int64
+		deadline time.Time
+	)
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		total = 1 << 62 // bounded by the deadline instead
+	}
+	more := func() bool {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return false
+		}
+		return issued.Add(1) <= int64(total)
+	}
+
+	results := make([]result, conc)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &results[w]
+			for more() {
+				t0 := time.Now()
+				rep, err := client.Analyze(ctx, detector, bytes.NewReader(data))
+				lat := time.Since(t0)
+				switch {
+				case err == nil:
+					r.ok++
+					r.latencies = append(r.latencies, lat)
+					if len(rep.Verdicts) > 0 {
+						r.racy = r.racy || rep.Verdicts[0].Racy
+					}
+				default:
+					var apiErr *server.APIError
+					if errors.As(err, &apiErr) && apiErr.Saturated() {
+						r.rejected++
+					} else {
+						r.failed++
+						if r.firstErr == nil {
+							r.firstErr = err
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := &result{elapsed: time.Since(start)}
+	for i := range results {
+		r := &results[i]
+		out.ok += r.ok
+		out.rejected += r.rejected
+		out.failed += r.failed
+		out.racy = out.racy || r.racy
+		out.latencies = append(out.latencies, r.latencies...)
+		if out.firstErr == nil {
+			out.firstErr = r.firstErr
+		}
+	}
+	return out
+}
+
+func (r *result) summary(detector string, traceBytes int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "detector  : %s\n", detector)
+	fmt.Fprintf(&b, "requests  : %d ok, %d rejected (saturated), %d failed in %v\n",
+		r.ok, r.rejected, r.failed, r.elapsed.Round(time.Millisecond))
+	if r.firstErr != nil {
+		fmt.Fprintf(&b, "first err : %v\n", r.firstErr)
+	}
+	if r.ok > 0 {
+		secs := r.elapsed.Seconds()
+		fmt.Fprintf(&b, "throughput: %.1f analyses/s, %.2f MB/s of trace\n",
+			float64(r.ok)/secs, float64(r.ok)*float64(traceBytes)/(1<<20)/secs)
+		fmt.Fprintf(&b, "latency   : p50 %v  p90 %v  p99 %v  max %v\n",
+			percentile(r.latencies, 0.50).Round(time.Microsecond),
+			percentile(r.latencies, 0.90).Round(time.Microsecond),
+			percentile(r.latencies, 0.99).Round(time.Microsecond),
+			percentile(r.latencies, 1.0).Round(time.Microsecond))
+		fmt.Fprintf(&b, "verdict   : racy=%v\n", r.racy)
+	}
+	return b.String()
+}

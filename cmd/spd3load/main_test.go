@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	_ "spd3/internal/detectors"
+	"spd3/internal/server"
+)
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ls := []time.Duration{ms(9), ms(1), ms(5), ms(3), ms(7)}
+	if got := percentile(ls, 0); got != ms(1) {
+		t.Errorf("p0 = %v, want 1ms", got)
+	}
+	if got := percentile(ls, 0.5); got != ms(5) {
+		t.Errorf("p50 = %v, want 5ms", got)
+	}
+	if got := percentile(ls, 1); got != ms(9) {
+		t.Errorf("p100 = %v, want 9ms", got)
+	}
+}
+
+// TestLoadAgainstDaemon drives the real load loop against an in-process
+// daemon: record once, analyze n times, verdicts and counts must add up.
+func TestLoadAgainstDaemon(t *testing.T) {
+	data, err := recordTrace("", "RacyMonteCarlo", 0.2, false, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{MaxInFlight: 64}).Handler())
+	defer ts.Close()
+
+	client := server.NewClient(ts.URL)
+	res := run(context.Background(), client, "spd3", data, 4, 20, 0)
+	if res.ok != 20 || res.rejected != 0 || res.failed != 0 {
+		t.Fatalf("ok/rejected/failed = %d/%d/%d (first err %v), want 20/0/0",
+			res.ok, res.rejected, res.failed, res.firstErr)
+	}
+	if !res.racy {
+		t.Fatal("RacyMonteCarlo analyzed race-free")
+	}
+	if len(res.latencies) != 20 || percentile(res.latencies, 1) <= 0 {
+		t.Fatalf("latencies = %d samples, max %v", len(res.latencies), percentile(res.latencies, 1))
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"sort"
+	"time"
+)
+
+// percentile returns the q-quantile (0 <= q <= 1) of the observed
+// latencies by nearest-rank on the sorted sample; q=1 is the maximum.
+// It sorts its argument in place. An empty sample yields 0.
+func percentile(ls []time.Duration, q float64) time.Duration {
+	if len(ls) == 0 {
+		return 0
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	i := int(q*float64(len(ls)-1) + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ls) {
+		i = len(ls) - 1
+	}
+	return ls[i]
+}

@@ -96,6 +96,35 @@ func Registered(name string) bool {
 	return ok
 }
 
+// Description describes one registered detector for listing surfaces
+// (cmd tools, the spd3d daemon's /v1/detectors endpoint).
+type Description struct {
+	// Name is the registry name the detector is constructible under.
+	Name string `json:"name"`
+	// Sequential reports RequiresSequential: the detector is only
+	// correct under depth-first execution, so it can consume only
+	// traces recorded sequentially and cannot run under the pool.
+	Sequential bool `json:"sequential"`
+}
+
+// Describe returns a Description of every non-hidden detector, sorted by
+// name. It constructs each detector once with empty FactoryOpts to query
+// its capabilities; factories must therefore tolerate a nil Sink and
+// Stats at construction time (all in-repo factories do — the sink is
+// only dereferenced when a race is reported).
+func Describe() []Description {
+	names := Names()
+	out := make([]Description, 0, len(names))
+	for _, name := range names {
+		d, err := New(name, FactoryOpts{})
+		if err != nil {
+			continue // unregistered between Names and New; cannot happen in practice
+		}
+		out = append(out, Description{Name: name, Sequential: d.RequiresSequential()})
+	}
+	return out
+}
+
 func init() {
 	// The uninstrumented baseline lives in this package, so it
 	// registers here; algorithm packages register themselves.

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"spd3/internal/stats"
+)
+
+// TestClientRoundTrip drives every typed client method against a live
+// handler.
+func TestClientRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 4})
+	c := NewClient(ts.URL + "/") // trailing slash must not produce //v1 paths
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	dets, err := c.Detectors(ctx)
+	if err != nil {
+		t.Fatalf("Detectors: %v", err)
+	}
+	seq := map[string]bool{}
+	for _, d := range dets {
+		seq[d.Name] = d.Sequential
+	}
+	if v, ok := seq["spd3"]; !ok || v {
+		t.Errorf("spd3 listing = %v/%v, want parallel-safe", v, ok)
+	}
+	if v, ok := seq["espbags"]; !ok || !v {
+		t.Errorf("espbags listing = %v/%v, want sequential-only", v, ok)
+	}
+
+	tr := recordRacyMonteCarlo(t)
+	rep, err := c.Analyze(ctx, "all", bytes.NewReader(tr))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.Tool != Tool || rep.Agree == nil || !*rep.Agree {
+		t.Fatalf("Analyze report: %+v", rep)
+	}
+
+	// Default detector when none is named.
+	rep, err = c.Analyze(ctx, "", bytes.NewReader(tr))
+	if err != nil {
+		t.Fatalf("Analyze default: %v", err)
+	}
+	if len(rep.Verdicts) != 1 || rep.Verdicts[0].Detector != "spd3" {
+		t.Fatalf("default detector verdicts: %+v", rep.Verdicts)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Stats.Get(stats.SrvRequests) == 0 || st.Stats.Get(stats.SrvAnalyses) == 0 {
+		t.Fatalf("statsz counters empty: %+v", st)
+	}
+	if st.MaxInFlight != 4 || st.Draining {
+		t.Fatalf("statsz gauges: %+v", st)
+	}
+}
+
+// TestClientAPIError pins the typed error mapping: a 404 surfaces as
+// *APIError carrying the daemon's message, and Saturated classifies the
+// load-sheddable statuses.
+func TestClientAPIError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	c := NewClient(ts.URL)
+
+	_, err := c.Analyze(context.Background(), "nosuch", bytes.NewReader(recordProgen(t, 1, true)))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %T %v, want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Message == "" {
+		t.Fatalf("APIError = %+v, want 404 with message", apiErr)
+	}
+	if apiErr.Saturated() {
+		t.Error("404 classified as saturated")
+	}
+	if !(&APIError{Status: 429}).Saturated() || !(&APIError{Status: 503}).Saturated() {
+		t.Error("429/503 not classified as saturated")
+	}
+}

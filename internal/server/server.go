@@ -1,0 +1,502 @@
+// Package server implements spd3d, the networked trace-analysis service:
+// a stdlib-only HTTP daemon that accepts traces recorded by
+// internal/trace and replays them into any detector from the detect
+// registry.
+//
+// SPD3's certification guarantee (PAPER §5, Theorem 1) makes traces the
+// natural unit of work for a detection service: one recorded execution
+// certifies all schedules of that input, so a program records once at
+// near-zero overhead and the daemon analyzes the trace many times — under
+// different detectors, on different machines, long after the run.
+//
+// API:
+//
+//	POST /v1/analyze?detector=<name>   trace body → JSON race report
+//	POST /v1/analyze?detector=all      differential: every legal detector, verdict agreement
+//	GET  /v1/detectors                 registry listing
+//	GET  /healthz                      liveness (503 while draining)
+//	GET  /statsz                       merged stats snapshot + server counters
+//
+// Robustness is the point, not an afterthought: in-flight analyses are
+// semaphore-bounded (429 when saturated), bodies are size-capped (413),
+// per-request deadlines propagate into the replay loop through
+// trace.Limits.Cancel (a deadline-exceeded request stops the replay, it
+// does not run to completion in the background), and Drain lets the
+// daemon finish in-flight analyses while refusing new ones with 503.
+// Decode failures map to precise status codes via the trace package's
+// typed errors: 400 malformed, 413 over resource limits, 422
+// sequential-only detector on a parallel trace, 404 unknown detector.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spd3/internal/detect"
+	"spd3/internal/stats"
+	"spd3/internal/trace"
+)
+
+// Tool and Version identify the daemon in every JSON envelope, in the
+// same style as spd3 -stats and spd3vet -json.
+const (
+	Tool    = "spd3d"
+	Version = "1.0.0"
+)
+
+// Config tunes one Server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// MaxInFlight bounds concurrent analyses; further analyze requests
+	// are rejected with 429. Defaults to GOMAXPROCS.
+	MaxInFlight int
+	// MaxBodyBytes caps the trace body size; larger uploads get 413.
+	// Defaults to 64 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request analysis deadline; when it
+	// expires the replay is canceled and the request answered with 504.
+	// Defaults to 60s; negative disables.
+	RequestTimeout time.Duration
+	// Limits bounds the resources one replay may demand. The zero
+	// value means trace.DefaultLimits. Cancel is overwritten per
+	// request.
+	Limits trace.Limits
+	// MaxRacesPerReport caps the races carried in one JSON verdict
+	// (the verdict stays exact; Capped marks truncation). Defaults to
+	// 256.
+	MaxRacesPerReport int
+	// Log receives one line per analysis; nil disables.
+	Log *log.Logger
+}
+
+// Server is the spd3d request handler plus its admission control and
+// counters. Create with New; serve via Handler.
+type Server struct {
+	cfg    Config
+	rec    *stats.Recorder // srv.* counters, sharded by request sequence
+	reqSeq atomic.Int64
+	sem    chan struct{}
+	start  time.Time
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	active   int
+	idle     chan struct{}  // non-nil while a Drain waits for active==0
+	agg      stats.Snapshot // analysis counters merged across requests
+}
+
+// New returns a Server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.Limits == (trace.Limits{}) {
+		cfg.Limits = trace.DefaultLimits()
+	}
+	if cfg.MaxRacesPerReport <= 0 {
+		cfg.MaxRacesPerReport = 256
+	}
+	s := &Server{
+		cfg:   cfg,
+		rec:   stats.New(0),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /v1/detectors", s.handleDetectors)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler; it counts every request
+// into the srv.requests counter before routing.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.shard().Inc(stats.SrvRequests)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// shard picks a stats shard by request arrival order, so concurrent
+// requests bump srv.* counters without sharing a cache line.
+func (s *Server) shard() *stats.Shard {
+	return s.rec.Shard(int(s.reqSeq.Add(1)))
+}
+
+// begin admits one analysis into the drain set; false while draining.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// end retires one analysis and wakes a pending Drain when the last one
+// leaves.
+func (s *Server) end() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && s.draining && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// Drain switches the server into draining mode — new analyze requests
+// are refused with 503, /healthz flips to 503 — and blocks until every
+// in-flight analysis has finished or ctx expires. It is the first half
+// of a graceful shutdown; pair it with http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.active == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// InFlight returns the number of analyses currently running.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Race is one reported race in wire form.
+type Race struct {
+	Kind   string `json:"kind"`
+	Region string `json:"region"`
+	Index  int    `json:"index"`
+	Prev   string `json:"prev"`
+	Cur    string `json:"cur"`
+}
+
+// Verdict is one detector's result on one trace.
+type Verdict struct {
+	Detector   string          `json:"detector"`
+	Racy       bool            `json:"racy"`
+	RaceCount  int             `json:"race_count"`
+	Races      []Race          `json:"races"`
+	Capped     bool            `json:"capped,omitempty"`
+	DurationMS float64         `json:"duration_ms"`
+	Stats      *stats.Snapshot `json:"stats,omitempty"` // with ?stats=1
+}
+
+// Report is the analyze endpoint's response envelope.
+type Report struct {
+	Tool       string    `json:"tool"`
+	Version    string    `json:"version"`
+	Detector   string    `json:"detector"` // as requested; "all" for differential mode
+	Sequential bool      `json:"sequential"`
+	TraceBytes int64     `json:"trace_bytes"`
+	Verdicts   []Verdict `json:"verdicts"`
+	// Agree is set in differential mode: whether every detector
+	// reached the same racy/race-free verdict.
+	Agree *bool `json:"agree,omitempty"`
+}
+
+// ErrorReport is the JSON body of every non-200 response.
+type ErrorReport struct {
+	Tool    string `json:"tool"`
+	Version string `json:"version"`
+	Status  int    `json:"status"`
+	Error   string `json:"error"`
+}
+
+// Statsz is the /statsz response: server gauges plus the merged
+// observability snapshot (srv.* counters and the analysis counters
+// accumulated across every completed replay).
+type Statsz struct {
+	Tool          string         `json:"tool"`
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	InFlight      int            `json:"in_flight"`
+	MaxInFlight   int            `json:"max_in_flight"`
+	Draining      bool           `json:"draining"`
+	Stats         stats.Snapshot `json:"stats"`
+}
+
+// DetectorList is the /v1/detectors response.
+type DetectorList struct {
+	Tool      string               `json:"tool"`
+	Version   string               `json:"version"`
+	Detectors []detect.Description `json:"detectors"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, ErrorReport{Tool: Tool, Version: Version, Status: status, Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// statusFor maps a replay decode failure to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, trace.ErrSequentialOnly):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, trace.ErrLimit):
+		return http.StatusRequestEntityTooLarge // 413
+	case errors.Is(err, trace.ErrBadMagic), errors.Is(err, trace.ErrTruncated), errors.Is(err, trace.ErrMalformed):
+		return http.StatusBadRequest // 400
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// analyze replays data into a fresh instance of the named detector and
+// folds the run's stats into the server aggregate.
+func (s *Server) analyze(name string, data []byte, lim trace.Limits, withStats bool) (Verdict, error) {
+	sink := detect.NewSink(false, s.cfg.MaxRacesPerReport)
+	rec := stats.New(1)
+	sink.SetStats(rec.Shard(0))
+	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec})
+	if err != nil {
+		return Verdict{}, err
+	}
+	start := time.Now()
+	replayErr := trace.ReplayWithLimits(bytes.NewReader(data), det, lim)
+	dur := time.Since(start)
+
+	snap := rec.Snapshot()
+	snap.Footprint = det.Footprint()
+	s.mu.Lock()
+	s.agg.Merge(snap)
+	s.mu.Unlock()
+	if replayErr != nil {
+		return Verdict{}, replayErr
+	}
+
+	races := sink.Races()
+	v := Verdict{
+		Detector:   name,
+		Racy:       !sink.Empty(),
+		RaceCount:  len(races),
+		Races:      make([]Race, 0, len(races)),
+		Capped:     sink.Capped(),
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	}
+	for _, r := range races {
+		v.Races = append(v.Races, Race{Kind: r.Kind.String(), Region: r.Region, Index: r.Index, Prev: r.PrevStep, Cur: r.CurStep})
+	}
+	if withStats {
+		v.Stats = &snap
+	}
+	return v, nil
+}
+
+// isSequentialTrace peeks at the recorded executor flag without decoding
+// the stream; a malformed header is caught later by the replay itself.
+func isSequentialTrace(data []byte) bool {
+	const headerLen = 9 // magic + executor byte
+	return len(data) >= headerLen && data[headerLen-1] == 1
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("detector")
+	if name == "" {
+		name = "spd3"
+	}
+	if name != "all" && !detect.Registered(name) {
+		s.writeError(w, http.StatusNotFound, "unknown detector %q (have %s, or \"all\")",
+			name, strings.Join(detect.Names(), ", "))
+		return
+	}
+
+	// Admission control before touching the body: a saturated or
+	// draining server sheds load without reading uploads.
+	if !s.begin() {
+		s.shard().Inc(stats.SrvRejected)
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.end()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shard().Inc(stats.SrvRejected)
+		s.writeError(w, http.StatusTooManyRequests, "server saturated: %d analyses in flight", s.cfg.MaxInFlight)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	s.shard().Add(stats.SrvBytesRead, int64(len(data)))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "trace exceeds the %d-byte body cap", mbe.Limit)
+			return
+		}
+		s.shard().Inc(stats.SrvCanceled)
+		s.writeError(w, http.StatusBadRequest, "reading trace body: %v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	lim := s.cfg.Limits
+	lim.Cancel = ctx.Done()
+	withStats := r.URL.Query().Get("stats") != ""
+
+	rep := &Report{
+		Tool:       Tool,
+		Version:    Version,
+		Detector:   name,
+		Sequential: isSequentialTrace(data),
+		TraceBytes: int64(len(data)),
+	}
+
+	var firstErr error
+	if name == "all" {
+		rep.Verdicts, firstErr = s.analyzeAll(rep.Sequential, data, lim, withStats)
+		if firstErr == nil {
+			agree := true
+			for _, v := range rep.Verdicts {
+				agree = agree && v.Racy == rep.Verdicts[0].Racy
+			}
+			rep.Agree = &agree
+		}
+	} else {
+		var v Verdict
+		v, firstErr = s.analyze(name, data, lim, withStats)
+		rep.Verdicts = []Verdict{v}
+	}
+
+	if firstErr != nil {
+		if errors.Is(firstErr, trace.ErrCanceled) {
+			s.shard().Inc(stats.SrvCanceled)
+			s.logf("analyze detector=%s bytes=%d: canceled (%v)", name, len(data), ctx.Err())
+			s.writeError(w, http.StatusGatewayTimeout, "analysis canceled: %v", ctx.Err())
+			return
+		}
+		s.logf("analyze detector=%s bytes=%d: %v", name, len(data), firstErr)
+		s.writeError(w, statusFor(firstErr), "%v", firstErr)
+		return
+	}
+	s.shard().Add(stats.SrvAnalyses, int64(len(rep.Verdicts)))
+	s.logf("analyze detector=%s bytes=%d verdicts=%d racy=%v", name, len(data), len(rep.Verdicts), rep.Verdicts[0].Racy)
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// analyzeAll is differential mode: one trace fanned out concurrently to
+// every registered detector that can legally consume it (sequential-only
+// detectors join only for depth-first traces; the uninstrumented "none"
+// baseline has no verdict and is skipped).
+func (s *Server) analyzeAll(sequential bool, data []byte, lim trace.Limits, withStats bool) ([]Verdict, error) {
+	var names []string
+	for _, d := range detect.Describe() {
+		if d.Name == "none" || (d.Sequential && !sequential) {
+			continue
+		}
+		names = append(names, d.Name)
+	}
+	verdicts := make([]Verdict, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			verdicts[i], errs[i] = s.analyze(name, data, lim, withStats)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return verdicts, nil
+}
+
+func (s *Server) handleDetectors(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, DetectorList{Tool: Tool, Version: Version, Detectors: detect.Describe()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Tool    string `json:"tool"`
+		Version string `json:"version"`
+		Status  string `json:"status"`
+	}
+	if s.Draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, health{Tool, Version, "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, health{Tool, Version, "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.rec.Snapshot()
+	s.mu.Lock()
+	snap.Merge(s.agg)
+	inFlight, draining := s.active, s.draining
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, Statsz{
+		Tool:          Tool,
+		Version:       Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      inFlight,
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Draining:      draining,
+		Stats:         snap,
+	})
+}

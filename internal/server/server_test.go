@@ -1,0 +1,549 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"spd3/internal/bench"
+	"spd3/internal/detect"
+	_ "spd3/internal/detectors" // populate the registry, as cmd/spd3d does
+	"spd3/internal/progen"
+	"spd3/internal/stats"
+	"spd3/internal/task"
+	"spd3/internal/trace"
+)
+
+// The gate detector lets tests hold an analysis in flight for as long as
+// they need: its MainTask blocks until the test releases the gate. It is
+// registered as a hidden variant, so it is reachable by name but absent
+// from listings and differential mode.
+var gate struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// setGate installs a fresh gate and returns its release function.
+func setGate() func() {
+	ch := make(chan struct{})
+	gate.mu.Lock()
+	gate.ch = ch
+	gate.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+type gateDetector struct{ detect.Nop }
+
+func (gateDetector) MainTask(*detect.Task, *detect.Finish) {
+	gate.mu.Lock()
+	ch := gate.ch
+	gate.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+func init() {
+	detect.RegisterVariant("test-gate", func(detect.FactoryOpts) detect.Detector { return gateDetector{} })
+}
+
+// recordProgen records one generated program, sequentially or in
+// parallel, and returns the trace bytes.
+func recordProgen(t *testing.T, seed int64, seq bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, seq)
+	exec, workers := task.Sequential, 1
+	if !seq {
+		exec, workers = task.Pool, 4
+	}
+	rt, err := task.New(task.Config{Executor: exec, Workers: workers, Detector: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := progen.Run(rt, progen.Generate(seed, progen.Config{}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// recordRacyMonteCarlo records the paper's benign-race benchmark under
+// the depth-first executor, so every detector (including ESP-bags) can
+// legally consume the trace.
+func recordRacyMonteCarlo(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, true)
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range bench.Racy() {
+		if rb.Name == "RacyMonteCarlo" {
+			if _, err := rb.Run(rt, bench.Input{Scale: 0.2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+	}
+	t.Fatal("RacyMonteCarlo not in bench.Racy()")
+	return nil
+}
+
+// liveVerdict runs the program live under the named detector.
+func liveVerdict(t *testing.T, seed int64, name string) bool {
+	t.Helper()
+	sink := detect.NewSink(false, 0)
+	det, err := detect.New(name, detect.FactoryOpts{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := progen.Run(rt, progen.Generate(seed, progen.Config{}), nil); err != nil {
+		t.Fatal(err)
+	}
+	return !sink.Empty()
+}
+
+// synthTrace hand-drives the recorder to build a sequential trace with a
+// known event count (one MainTask, one region, accesses reads, one
+// TaskEnd).
+func synthTrace(t *testing.T, accesses int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, true)
+	mt := &detect.Task{ID: 0}
+	fin := &detect.Finish{ID: 0, Owner: mt}
+	mt.IEF = fin
+	rec.MainTask(mt, fin)
+	sh := rec.NewShadow(detect.Spec("synth", 8, 8))
+	for i := 0; i < accesses; i++ {
+		sh.Read(mt, i%8)
+	}
+	rec.TaskEnd(mt)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeReport(t *testing.T, data []byte) *Report {
+	t.Helper()
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding report: %v\n%s", err, data)
+	}
+	return &rep
+}
+
+func getStatsz(t *testing.T, base string) *Statsz {
+	t.Helper()
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for " + msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStatusCodes pins the exact HTTP status of every analyze outcome.
+func TestStatusCodes(t *testing.T) {
+	seqTrace := recordProgen(t, 1, true)
+	parTrace := recordProgen(t, 1, false)
+
+	_, ts := newTestServer(t, Config{MaxInFlight: 4})
+	analyze := ts.URL + "/v1/analyze"
+
+	t.Run("200 valid trace", func(t *testing.T) {
+		resp, body := post(t, analyze+"?detector=spd3", seqTrace)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, body)
+		}
+		rep := decodeReport(t, body)
+		if rep.Tool != Tool || rep.Version != Version || len(rep.Verdicts) != 1 || rep.Verdicts[0].Detector != "spd3" {
+			t.Fatalf("bad report envelope: %+v", rep)
+		}
+		if !rep.Sequential {
+			t.Fatal("sequential trace not flagged as such")
+		}
+	})
+	t.Run("400 not a trace", func(t *testing.T) {
+		resp, _ := post(t, analyze, []byte("NOTATRACE-NOTATRACE"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("400 truncated trace", func(t *testing.T) {
+		resp, _ := post(t, analyze, seqTrace[:len(seqTrace)-1])
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("404 unknown detector", func(t *testing.T) {
+		resp, body := post(t, analyze+"?detector=nosuch", seqTrace)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+		var er ErrorReport
+		if err := json.Unmarshal(body, &er); err != nil || er.Tool != Tool || er.Status != 404 {
+			t.Fatalf("bad error envelope: %s", body)
+		}
+	})
+	t.Run("422 sequential-only detector on parallel trace", func(t *testing.T) {
+		resp, _ := post(t, analyze+"?detector=espbags", parTrace)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d, want 422", resp.StatusCode)
+		}
+	})
+	t.Run("405 wrong method", func(t *testing.T) {
+		resp, err := http.Get(analyze)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestBodyCap413: uploads over MaxBodyBytes are refused with 413.
+func TestBodyCap413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	resp, _ := post(t, ts.URL+"/v1/analyze", synthTrace(t, 1000))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestResourceLimit413: a small trace declaring a huge region is refused
+// with 413 via trace.ErrLimit, not misfiled as 400.
+func TestResourceLimit413(t *testing.T) {
+	_, ts := newTestServer(t, Config{Limits: trace.Limits{MaxRegionElems: 2, MaxTotalElems: 2}})
+	resp, _ := post(t, ts.URL+"/v1/analyze", synthTrace(t, 4))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestSaturation429: with MaxInFlight=1 and one analysis parked on the
+// gate, the next request is shed with 429 and counted as rejected;
+// releasing the gate lets the parked analysis finish with 200.
+func TestSaturation429(t *testing.T) {
+	release := setGate()
+	defer release()
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+
+	tr := synthTrace(t, 16)
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, body := post(t, ts.URL+"/v1/analyze?detector=test-gate", tr)
+		done <- result{resp.StatusCode, body}
+	}()
+	waitFor(t, func() bool { return s.InFlight() == 1 }, "gated analysis in flight")
+
+	resp, _ := post(t, ts.URL+"/v1/analyze?detector=spd3", tr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429", resp.StatusCode)
+	}
+
+	release()
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("gated analysis status = %d, want 200\n%s", r.status, r.body)
+	}
+	st := getStatsz(t, ts.URL)
+	if got := st.Stats.Get(stats.SrvRejected); got != 1 {
+		t.Fatalf("srv.rejected = %d, want 1", got)
+	}
+}
+
+// TestDeadlineCancelsReplay is the acceptance-criteria proof: a request
+// whose deadline expires mid-analysis stops the underlying replay (the
+// canceled counter increments and the response is 504), instead of the
+// replay running to completion in the background.
+func TestDeadlineCancelsReplay(t *testing.T) {
+	release := setGate()
+	defer release()
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, RequestTimeout: 50 * time.Millisecond})
+
+	// Enough events after MainTask that the post-gate replay must cross
+	// a cancellation poll before reaching EOF.
+	tr := synthTrace(t, 3*4096)
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/analyze?detector=test-gate", tr)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.InFlight() == 1 }, "gated analysis in flight")
+	// Hold the gate until the 50ms deadline has long expired, then let
+	// the replay continue into its next cancellation poll.
+	time.Sleep(300 * time.Millisecond)
+	release()
+
+	if status := <-done; status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", status)
+	}
+	st := getStatsz(t, ts.URL)
+	if got := st.Stats.Get(stats.SrvCanceled); got != 1 {
+		t.Fatalf("srv.canceled = %d, want 1", got)
+	}
+}
+
+// TestGracefulShutdown: Drain lets the in-flight analysis finish (200)
+// while new requests get 503 and /healthz flips to draining.
+func TestGracefulShutdown(t *testing.T) {
+	release := setGate()
+	defer release()
+	s, ts := newTestServer(t, Config{MaxInFlight: 4})
+
+	tr := synthTrace(t, 16)
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/analyze?detector=test-gate", tr)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.InFlight() == 1 }, "gated analysis in flight")
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	waitFor(t, s.Draining, "server draining")
+
+	resp, _ := post(t, ts.URL+"/v1/analyze?detector=spd3", tr)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status while draining = %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hresp.StatusCode)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) while an analysis was still in flight", err)
+	default:
+	}
+
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if status := <-done; status != http.StatusOK {
+		t.Fatalf("in-flight analysis status = %d, want 200 (drain must not kill it)", status)
+	}
+}
+
+// TestEndToEndRacyMonteCarlo is the acceptance-criteria round trip: a
+// trace recorded by trace.Recorder is POSTed to a running daemon,
+// analyzed by spd3 and fasttrack, and both verdicts agree with the live
+// run.
+func TestEndToEndRacyMonteCarlo(t *testing.T) {
+	tr := recordRacyMonteCarlo(t)
+	_, ts := newTestServer(t, Config{})
+
+	// Live verdict: RacyMonteCarlo contains the paper's benign WW race.
+	sink := detect.NewSink(false, 0)
+	det, err := detect.New("spd3", detect.FactoryOpts{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := task.New(task.Config{Executor: task.Sequential, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range bench.Racy() {
+		if rb.Name == "RacyMonteCarlo" {
+			if _, err := rb.Run(rt, bench.Input{Scale: 0.2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if sink.Empty() {
+		t.Fatal("live spd3 run found no race in RacyMonteCarlo")
+	}
+
+	for _, detName := range []string{"spd3", "fasttrack"} {
+		resp, body := post(t, ts.URL+"/v1/analyze?detector="+detName, tr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d\n%s", detName, resp.StatusCode, body)
+		}
+		rep := decodeReport(t, body)
+		if len(rep.Verdicts) != 1 || !rep.Verdicts[0].Racy {
+			t.Fatalf("%s: verdict disagrees with the live run (racy): %+v", detName, rep.Verdicts)
+		}
+		if rep.Verdicts[0].RaceCount == 0 || len(rep.Verdicts[0].Races) == 0 {
+			t.Fatalf("%s: racy verdict with no races: %+v", detName, rep.Verdicts[0])
+		}
+	}
+}
+
+// TestDifferentialAll: detector=all fans a sequential trace out to every
+// legal detector (including ESP-bags) and reports agreement.
+func TestDifferentialAll(t *testing.T) {
+	tr := recordRacyMonteCarlo(t)
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts.URL+"/v1/analyze?detector=all&stats=1", tr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	rep := decodeReport(t, body)
+	if rep.Agree == nil {
+		t.Fatal("differential mode did not report agreement")
+	}
+	got := map[string]bool{}
+	for _, v := range rep.Verdicts {
+		got[v.Detector] = v.Racy
+		if v.Stats == nil {
+			t.Errorf("%s: stats=1 verdict missing snapshot", v.Detector)
+		}
+	}
+	for _, want := range []string{"spd3", "fasttrack", "espbags", "eraser"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("differential verdicts missing %s (got %v)", want, got)
+		}
+	}
+	if _, ok := got["none"]; ok {
+		t.Error("uninstrumented baseline leaked into differential mode")
+	}
+	// RacyMonteCarlo's benign WW race is visible to every detector here;
+	// the daemon must report unanimous agreement.
+	if !*rep.Agree {
+		t.Fatalf("verdicts disagree: %v", got)
+	}
+	for name, racy := range got {
+		if !racy {
+			t.Errorf("%s: verdict race-free, want racy", name)
+		}
+	}
+
+	// A parallel trace must exclude the sequential-only detectors.
+	parTrace := recordProgen(t, 1, false)
+	resp, body = post(t, ts.URL+"/v1/analyze?detector=all", parTrace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel all: status = %d\n%s", resp.StatusCode, body)
+	}
+	rep = decodeReport(t, body)
+	for _, v := range rep.Verdicts {
+		if v.Detector == "espbags" {
+			t.Fatal("sequential-only espbags ran on a parallel trace in differential mode")
+		}
+	}
+}
+
+// TestConcurrentClients hammers the daemon from many goroutines (runs
+// under the CI -race job): verdicts must stay consistent with the live
+// run and the stats aggregate must account for every analysis.
+func TestConcurrentClients(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	traces := make(map[int64][]byte, len(seeds))
+	want := make(map[int64]bool, len(seeds))
+	for _, seed := range seeds {
+		traces[seed] = recordProgen(t, seed, true)
+		want[seed] = liveVerdict(t, seed, "spd3")
+	}
+
+	_, ts := newTestServer(t, Config{MaxInFlight: 64})
+	const clients, perClient = 8, 6
+	var wg sync.WaitGroup
+	errc := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				seed := seeds[(c+i)%len(seeds)]
+				detName := []string{"spd3", "fasttrack"}[i%2]
+				resp, body := post(t, ts.URL+"/v1/analyze?detector="+detName, traces[seed])
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("seed %d %s: status %d: %s", seed, detName, resp.StatusCode, body)
+					return
+				}
+				rep := decodeReport(t, body)
+				if rep.Verdicts[0].Racy != want[seed] {
+					errc <- fmt.Errorf("seed %d %s: verdict %v, live %v", seed, detName, rep.Verdicts[0].Racy, want[seed])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	st := getStatsz(t, ts.URL)
+	if got := st.Stats.Get(stats.SrvAnalyses); got != clients*perClient {
+		t.Fatalf("srv.analyses = %d, want %d", got, clients*perClient)
+	}
+	// Region totals stay zero on replay (only live mem containers feed
+	// them); the detector-side counters must have accumulated instead.
+	if st.Stats.Get(stats.SrvBytesRead) == 0 || st.Stats.Get(stats.CASClean)+st.Stats.Get(stats.CASPublish) == 0 {
+		t.Fatalf("stats aggregate empty: bytes=%d cas=%d/%d",
+			st.Stats.Get(stats.SrvBytesRead), st.Stats.Get(stats.CASClean), st.Stats.Get(stats.CASPublish))
+	}
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -47,6 +48,50 @@ type Snapshot struct {
 	// Footprint is the detector's analytic memory accounting at
 	// snapshot time (filled in by the engine, not the recorder).
 	Footprint Footprint
+}
+
+// Merge adds every scalar of o into s: counters, histograms, access
+// totals, footprint components, and per-region traffic (regions are
+// matched by name; unmatched ones are appended). The spd3d daemon uses
+// it to fold per-request snapshots into one long-running aggregate, so
+// it preserves the hottest-first region order Snapshot establishes.
+func (s *Snapshot) Merge(o Snapshot) {
+	for c := range s.Counters {
+		s.Counters[c] += o.Counters[c]
+	}
+	for b := range s.CASRetryHist {
+		s.CASRetryHist[b] += o.CASRetryHist[b]
+	}
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Footprint.ShadowBytes += o.Footprint.ShadowBytes
+	s.Footprint.TreeBytes += o.Footprint.TreeBytes
+	s.Footprint.ClockBytes += o.Footprint.ClockBytes
+	s.Footprint.SetBytes += o.Footprint.SetBytes
+	byName := make(map[string]int, len(s.Regions))
+	for i, g := range s.Regions {
+		byName[g.Name] = i
+	}
+	for _, g := range o.Regions {
+		if i, ok := byName[g.Name]; ok {
+			s.Regions[i].Reads += g.Reads
+			s.Regions[i].Writes += g.Writes
+			if g.Elems > s.Regions[i].Elems {
+				s.Regions[i].Elems = g.Elems
+			}
+		} else {
+			byName[g.Name] = len(s.Regions)
+			s.Regions = append(s.Regions, g)
+		}
+	}
+	sort.Slice(s.Regions, func(i, j int) bool {
+		a, b := s.Regions[i], s.Regions[j]
+		ta, tb := a.Reads+a.Writes, b.Reads+b.Writes
+		if ta != tb {
+			return ta > tb
+		}
+		return a.Name < b.Name
+	})
 }
 
 // Get returns one merged counter value.
@@ -100,6 +145,10 @@ func (s Snapshot) String() string {
 		s.Get(TaskSpawn), s.Get(TaskSteal), s.Get(TaskInline))
 	fmt.Fprintf(&b, " | race: %d reported, %d deduped, %d dropped",
 		s.Get(RaceReported), s.Get(RaceDeduped), s.Get(RaceDropped))
+	if v := s.Get(SrvRequests); v != 0 {
+		fmt.Fprintf(&b, " | srv: %d requests, %d analyses, %d rejected, %d canceled",
+			v, s.Get(SrvAnalyses), s.Get(SrvRejected), s.Get(SrvCanceled))
+	}
 	fmt.Fprintf(&b, " | footprint: %d B", s.Footprint.Total())
 	return b.String()
 }

@@ -101,6 +101,21 @@ const (
 	// PageCacheMiss counts shadow-cell lookups that walked the page
 	// table (and, on a region's first touch of a page, allocated it).
 	PageCacheMiss
+	// SrvRequests counts HTTP requests accepted by the spd3d analysis
+	// daemon (all endpoints).
+	SrvRequests
+	// SrvBytesRead counts trace bytes read off the wire by the daemon's
+	// analyze endpoint.
+	SrvBytesRead
+	// SrvAnalyses counts replays the daemon ran to completion (each
+	// detector of a differential request counts once).
+	SrvAnalyses
+	// SrvRejected counts analyze requests turned away with 429 because
+	// the in-flight semaphore was saturated, or 503 while draining.
+	SrvRejected
+	// SrvCanceled counts replays aborted by a request deadline or a
+	// client disconnect (the trace.ErrCanceled path).
+	SrvCanceled
 
 	// NumCounters is the number of Counter values; not itself a
 	// counter.
@@ -126,6 +141,11 @@ var counterNames = [NumCounters]string{
 	ShadowPagesAllocated: "shadow.pages_allocated",
 	PageCacheHit:         "shadow.page_cache_hit",
 	PageCacheMiss:        "shadow.page_cache_miss",
+	SrvRequests:          "srv.requests",
+	SrvBytesRead:         "srv.bytes_read",
+	SrvAnalyses:          "srv.analyses",
+	SrvRejected:          "srv.rejected",
+	SrvCanceled:          "srv.canceled",
 }
 
 // String returns the counter's stable wire name.

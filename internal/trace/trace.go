@@ -34,6 +34,32 @@ import (
 
 const magic = "SPD3TRC1"
 
+// Typed decode errors. Replay and ReplayWithLimits wrap one of these
+// sentinels into every error they return, so callers (notably the spd3d
+// daemon, which maps decode failures to HTTP status codes) can classify
+// failures with errors.Is instead of string matching.
+var (
+	// ErrBadMagic marks input that is not an SPD3 trace at all.
+	ErrBadMagic = errors.New("not an SPD3 trace (bad magic)")
+	// ErrTruncated marks a trace that starts well but ends mid-event —
+	// typically an interrupted recording or a partial upload.
+	ErrTruncated = errors.New("truncated trace")
+	// ErrMalformed marks a structurally invalid event stream (unknown
+	// event kinds, references to undeclared tasks or regions,
+	// out-of-bounds indices): the bytes decode but the trace lies.
+	ErrMalformed = errors.New("malformed trace")
+	// ErrLimit marks a trace whose declared resources exceed the
+	// configured Limits.
+	ErrLimit = errors.New("trace exceeds resource limits")
+	// ErrSequentialOnly marks an illegal pairing: a detector that is
+	// only correct under depth-first execution asked to consume a trace
+	// recorded in parallel.
+	ErrSequentialOnly = errors.New("sequential-only detector on a parallel trace")
+	// ErrCanceled reports that replay stopped because Limits.Cancel was
+	// closed before the trace was fully consumed.
+	ErrCanceled = errors.New("replay canceled")
+)
+
 // event kinds
 const (
 	evMainTask byte = iota + 1
@@ -207,6 +233,12 @@ type Limits struct {
 	MaxRegionElems int64
 	// MaxTotalElems caps the sum over all regions.
 	MaxTotalElems int64
+	// Cancel, when non-nil, aborts the replay with ErrCanceled once the
+	// channel is closed. The check runs every cancelCheckEvery events,
+	// so a long replay stops within microseconds of cancellation while
+	// the common case pays one counter decrement per event. Wire a
+	// request context in with ctx.Done().
+	Cancel <-chan struct{}
 }
 
 // DefaultLimits allows regions up to 64M elements and 128M elements in
@@ -222,19 +254,30 @@ func Replay(rd io.Reader, det detect.Detector) error {
 	return ReplayWithLimits(rd, det, DefaultLimits())
 }
 
+// cancelCheckEvery is how many events replay processes between polls of
+// Limits.Cancel. The first event always polls, so an already-expired
+// deadline aborts before any detector work happens.
+const cancelCheckEvery = 4096
+
 // ReplayWithLimits is Replay with explicit resource bounds.
 func ReplayWithLimits(rd io.Reader, det detect.Detector, lim Limits) error {
 	br := bufio.NewReader(rd)
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
-		return fmt.Errorf("trace: bad header (%v)", err)
+	if _, err := io.ReadFull(br, head); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("trace: %w: %d-byte input", ErrBadMagic, len(head))
+		}
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("trace: %w: header %q", ErrBadMagic, head)
 	}
 	seqByte, err := br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("trace: truncated header: %w", err)
+		return fmt.Errorf("trace: %w: missing executor byte", ErrTruncated)
 	}
 	if det.RequiresSequential() && seqByte != 1 {
-		return fmt.Errorf("trace: detector %q needs a depth-first trace; this one was recorded in parallel", det.Name())
+		return fmt.Errorf("trace: %w: detector %q needs a depth-first trace; this one was recorded in parallel", ErrSequentialOnly, det.Name())
 	}
 
 	st := &replayState{
@@ -244,13 +287,24 @@ func ReplayWithLimits(rd io.Reader, det detect.Detector, lim Limits) error {
 		finishes: map[int64]*detect.Finish{},
 		locks:    map[int64]*detect.Lock{},
 	}
+	countdown := 1 // poll Cancel on the very first event
 	for {
+		if lim.Cancel != nil {
+			if countdown--; countdown <= 0 {
+				countdown = cancelCheckEvery
+				select {
+				case <-lim.Cancel:
+					return fmt.Errorf("trace: %w", ErrCanceled)
+				default:
+				}
+			}
+		}
 		kind, err := br.ReadByte()
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("trace: %w", err)
+			return fmt.Errorf("trace: %w: %v", ErrTruncated, err)
 		}
 		if err := st.apply(br, kind); err != nil {
 			return err
@@ -278,12 +332,15 @@ const (
 // regionName reads a length-prefixed region name off the stream.
 func (st *replayState) regionName(br *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(br)
-	if err != nil || n > maxNameLen {
-		return "", fmt.Errorf("trace: bad region name length (%v)", err)
+	if err != nil {
+		return "", fmt.Errorf("trace: %w: region name length: %v", ErrTruncated, err)
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("trace: %w: region name of %d bytes", ErrMalformed, n)
 	}
 	name := make([]byte, n)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return "", fmt.Errorf("trace: truncated region name: %w", err)
+		return "", fmt.Errorf("trace: %w: region name: %v", ErrTruncated, err)
 	}
 	return string(name), nil
 }
@@ -294,7 +351,7 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		for i := range out {
 			v, err := binary.ReadVarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("trace: truncated event %d: %w", kind, err)
+				return nil, fmt.Errorf("trace: %w: event %d: %v", ErrTruncated, kind, err)
 			}
 			out[i] = v
 		}
@@ -319,11 +376,11 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		}
 		parent, ok := st.tasks[a[0]]
 		if !ok {
-			return fmt.Errorf("trace: spawn from unknown task %d", a[0])
+			return fmt.Errorf("trace: %w: spawn from unknown task %d", ErrMalformed, a[0])
 		}
 		ief, ok := st.finishes[a[2]]
 		if !ok {
-			return fmt.Errorf("trace: spawn into unknown finish %d", a[2])
+			return fmt.Errorf("trace: %w: spawn into unknown finish %d", ErrMalformed, a[2])
 		}
 		child := &detect.Task{ID: detect.TaskID(a[1]), Parent: parent, IEF: ief, Depth: parent.Depth + 1}
 		st.tasks[a[1]] = child
@@ -335,7 +392,7 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		}
 		t, ok := st.tasks[a[0]]
 		if !ok {
-			return fmt.Errorf("trace: end of unknown task %d", a[0])
+			return fmt.Errorf("trace: %w: end of unknown task %d", ErrMalformed, a[0])
 		}
 		st.det.TaskEnd(t)
 	case evFinishStart:
@@ -345,7 +402,7 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		}
 		t, ok := st.tasks[a[0]]
 		if !ok {
-			return fmt.Errorf("trace: finish in unknown task %d", a[0])
+			return fmt.Errorf("trace: %w: finish in unknown task %d", ErrMalformed, a[0])
 		}
 		f := &detect.Finish{ID: a[1], Owner: t}
 		st.finishes[a[1]] = f
@@ -357,7 +414,7 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		}
 		t, f := st.tasks[a[0]], st.finishes[a[1]]
 		if t == nil || f == nil {
-			return fmt.Errorf("trace: finish-end with unknown task %d or finish %d", a[0], a[1])
+			return fmt.Errorf("trace: %w: finish-end with unknown task %d or finish %d", ErrMalformed, a[0], a[1])
 		}
 		st.det.FinishEnd(t, f)
 	case evAcquire, evRelease:
@@ -367,7 +424,7 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 		}
 		t := st.tasks[a[0]]
 		if t == nil {
-			return fmt.Errorf("trace: lock op in unknown task %d", a[0])
+			return fmt.Errorf("trace: %w: lock op in unknown task %d", ErrMalformed, a[0])
 		}
 		l := st.locks[a[1]]
 		if l == nil {
@@ -385,20 +442,20 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 			return err
 		}
 		if a[1] < 0 || a[1] > st.lim.MaxRegionElems {
-			return fmt.Errorf("trace: region size %d out of range", a[1])
+			return fmt.Errorf("trace: %w: region size %d out of range", ErrLimit, a[1])
 		}
 		if st.total += a[1]; st.total > st.lim.MaxTotalElems {
-			return fmt.Errorf("trace: total region size exceeds limit of %d elements", st.lim.MaxTotalElems)
+			return fmt.Errorf("trace: %w: total region size exceeds limit of %d elements", ErrLimit, st.lim.MaxTotalElems)
 		}
 		if a[2] < 0 || a[2] > maxElemBytes {
-			return fmt.Errorf("trace: element size %d out of range", a[2])
+			return fmt.Errorf("trace: %w: element size %d out of range", ErrMalformed, a[2])
 		}
 		name, err := st.regionName(br)
 		if err != nil {
 			return err
 		}
 		if int(a[0]) != len(st.shadows) {
-			return fmt.Errorf("trace: region %d out of order", a[0])
+			return fmt.Errorf("trace: %w: region %d out of order", ErrMalformed, a[0])
 		}
 		st.shadows = append(st.shadows, st.det.NewShadow(detect.Spec(name, int(a[1]), int(a[2]))))
 		st.sizes = append(st.sizes, a[1])
@@ -408,14 +465,14 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 			return err
 		}
 		if a[1] < 0 || a[1] > maxElemBytes {
-			return fmt.Errorf("trace: element size %d out of range", a[1])
+			return fmt.Errorf("trace: %w: element size %d out of range", ErrMalformed, a[1])
 		}
 		name, err := st.regionName(br)
 		if err != nil {
 			return err
 		}
 		if int(a[0]) != len(st.shadows) {
-			return fmt.Errorf("trace: region %d out of order", a[0])
+			return fmt.Errorf("trace: %w: region %d out of order", ErrMalformed, a[0])
 		}
 		st.shadows = append(st.shadows, st.det.NewShadow(detect.GrowableSpec(name, int(a[1]))))
 		// Growable: no declared size. Indices are still bounded by
@@ -427,18 +484,18 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 			return err
 		}
 		if a[0] < 0 || int(a[0]) >= len(st.shadows) {
-			return fmt.Errorf("trace: access to unknown region %d", a[0])
+			return fmt.Errorf("trace: %w: access to unknown region %d", ErrMalformed, a[0])
 		}
 		bound := st.sizes[a[0]]
 		if bound < 0 {
 			bound = st.lim.MaxRegionElems
 		}
 		if a[2] < 0 || a[2] >= bound {
-			return fmt.Errorf("trace: access index %d outside region of %d elements", a[2], bound)
+			return fmt.Errorf("trace: %w: access index %d outside region of %d elements", ErrMalformed, a[2], bound)
 		}
 		t := st.tasks[a[1]]
 		if t == nil {
-			return fmt.Errorf("trace: access by unknown task %d", a[1])
+			return fmt.Errorf("trace: %w: access by unknown task %d", ErrMalformed, a[1])
 		}
 		if kind == evRead {
 			st.shadows[a[0]].Read(t, int(a[2]))
@@ -446,7 +503,7 @@ func (st *replayState) apply(br *bufio.Reader, kind byte) error {
 			st.shadows[a[0]].Write(t, int(a[2]))
 		}
 	default:
-		return fmt.Errorf("trace: unknown event kind %d", kind)
+		return fmt.Errorf("trace: %w: unknown event kind %d", ErrMalformed, kind)
 	}
 	return nil
 }
