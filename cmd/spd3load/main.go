@@ -7,8 +7,16 @@
 // Usage:
 //
 //	spd3d -addr :7331 &
-//	spd3load -addr http://127.0.0.1:7331 -bench SOR -scale 0.2 -c 8 -n 200
+//	spd3load -addr http://127.0.0.1:7331 -bench SOR -size 0.2 -c 8 -n 200
 //	spd3load -addr http://127.0.0.1:7331 -racy RacyMonteCarlo -detector all -d 10s
+//	spd3load -addr http://127.0.0.1:7331 -racy RacyMonteCarlo -scale 64 -c 2 -n 8
+//
+// -scale N streams an N×-amplified trace per request without ever
+// materializing it client-side (trace.Amplifier synthesizes the bytes on
+// the fly), which is how the daemon's flat-memory claim is exercised:
+// after the run spd3load reads /statsz and reports the daemon's peak
+// heap, peak RSS, and how many bytes and finish-scope segments it
+// streamed through the sharded analyze path.
 //
 // Rejections from the daemon's admission control (429 saturated / 503
 // draining) are counted separately from hard failures: saturating the
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -29,6 +38,7 @@ import (
 	"spd3/internal/bench"
 	_ "spd3/internal/detectors" // populate the detector registry (recording needs none, listing does)
 	"spd3/internal/server"
+	"spd3/internal/stats"
 	"spd3/internal/task"
 	"spd3/internal/trace"
 )
@@ -39,7 +49,8 @@ func main() {
 		name     = flag.String("bench", "SOR", "benchmark to record (see spd3 -list)")
 		racy     = flag.String("racy", "", "record a deliberately racy variant instead of -bench")
 		detector = flag.String("detector", "spd3", "detector the daemon should run (or \"all\")")
-		scale    = flag.Float64("scale", 0.2, "problem-size multiplier for the recorded run")
+		size     = flag.Float64("size", 0.2, "problem-size multiplier for the recorded run")
+		scale    = flag.Int("scale", 1, "stream an N×-amplified trace per request (synthesized on the fly, never materialized client-side)")
 		chunked  = flag.Bool("chunked", false, "coarse one-chunk-per-worker loops")
 		seq      = flag.Bool("seq", false, "record depth-first (required for sequential-only detectors)")
 		workers  = flag.Int("workers", 4, "worker count for the recorded run")
@@ -49,7 +60,7 @@ func main() {
 	)
 	flag.Parse()
 
-	data, err := recordTrace(*name, *racy, *scale, *chunked, *seq, *workers)
+	data, err := recordTrace(*name, *racy, *size, *chunked, *seq, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spd3load:", err)
 		os.Exit(1)
@@ -58,7 +69,19 @@ func main() {
 	if *racy != "" {
 		label = *racy
 	}
-	fmt.Printf("trace     : %s (%d bytes, sequential=%v)\n", label, len(data), *seq)
+	wireBytes := int64(len(data))
+	if *scale > 1 {
+		amp, err := trace.NewAmplifier(data, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spd3load:", err)
+			os.Exit(1)
+		}
+		wireBytes = amp.SizeHint()
+		fmt.Printf("trace     : %s ×%d (%d bytes recorded, ~%d bytes streamed per request, sequential=%v)\n",
+			label, *scale, len(data), wireBytes, *seq)
+	} else {
+		fmt.Printf("trace     : %s (%d bytes, sequential=%v)\n", label, len(data), *seq)
+	}
 
 	client := server.NewClient(*addr)
 	ctx := context.Background()
@@ -66,12 +89,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spd3load: daemon at %s not healthy: %v\n", *addr, err)
 		os.Exit(1)
 	}
+	before, err := client.Stats(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spd3load: reading /statsz: %v\n", err)
+		os.Exit(1)
+	}
 
-	res := run(ctx, client, *detector, data, *conc, *total, *duration)
-	fmt.Print(res.summary(*detector, len(data)))
+	res := run(ctx, client, *detector, data, *scale, *conc, *total, *duration)
+	fmt.Print(res.summary(*detector, wireBytes))
+	// The daemon's peak gauges are monotonic, so one post-run read sees
+	// the run's high-water mark; the counter deltas isolate this run
+	// from whatever the daemon served before.
+	if after, err := client.Stats(ctx); err == nil {
+		fmt.Print(daemonSummary(before, after))
+	} else {
+		fmt.Fprintf(os.Stderr, "spd3load: reading /statsz after run: %v\n", err)
+	}
 	if res.failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// daemonSummary renders the server-side view of the run: bytes streamed
+// through the analyze path, finish-scope segments sharded, and the
+// daemon's memory high-water marks — the numbers that substantiate the
+// flat-ceiling claim when -scale pushes traces far past daemon RAM.
+func daemonSummary(before, after *server.Statsz) string {
+	var b bytes.Buffer
+	streamed := after.Stats.Get(stats.SrvStreamedBytes) - before.Stats.Get(stats.SrvStreamedBytes)
+	segments := after.Stats.Get(stats.TraceSegments) - before.Stats.Get(stats.TraceSegments)
+	unsplit := after.Stats.Get(stats.SrvUnsplit) - before.Stats.Get(stats.SrvUnsplit)
+	fmt.Fprintf(&b, "daemon    : %.2f MB streamed, %d segments", float64(streamed)/(1<<20), segments)
+	if unsplit > 0 {
+		fmt.Fprintf(&b, " (%d unsplit fallbacks)", unsplit)
+	}
+	fmt.Fprintf(&b, ", %d shard workers\n", after.ShardWorkers)
+	fmt.Fprintf(&b, "daemon mem: peak heap %.1f MiB", float64(after.PeakHeapBytes)/(1<<20))
+	if after.PeakRSSBytes > 0 {
+		fmt.Fprintf(&b, ", peak RSS %.1f MiB", float64(after.PeakRSSBytes)/(1<<20))
+	}
+	fmt.Fprintf(&b, ", sys %.1f MiB\n", float64(after.SysBytes)/(1<<20))
+	return b.String()
 }
 
 // recordTrace runs the selected benchmark once under the trace recorder
@@ -128,8 +186,9 @@ type result struct {
 }
 
 // run hammers the daemon with conc connections until total requests have
-// been issued (or d has elapsed, when d > 0).
-func run(ctx context.Context, client *server.Client, detector string, data []byte, conc, total int, d time.Duration) *result {
+// been issued (or d has elapsed, when d > 0). When scale > 1 each
+// request streams a fresh scale×-amplified trace straight onto the wire.
+func run(ctx context.Context, client *server.Client, detector string, data []byte, scale, conc, total int, d time.Duration) *result {
 	var (
 		issued   atomic.Int64
 		deadline time.Time
@@ -154,8 +213,23 @@ func run(ctx context.Context, client *server.Client, detector string, data []byt
 			defer wg.Done()
 			r := &results[w]
 			for more() {
+				var body io.Reader = bytes.NewReader(data)
+				if scale > 1 {
+					// Amplifiers are single-use streams, so each request
+					// builds its own; the base scan is cheap next to the
+					// replay it feeds.
+					amp, err := trace.NewAmplifier(data, scale)
+					if err != nil {
+						r.failed++
+						if r.firstErr == nil {
+							r.firstErr = err
+						}
+						return
+					}
+					body = amp
+				}
 				t0 := time.Now()
-				rep, err := client.Analyze(ctx, detector, bytes.NewReader(data))
+				rep, err := client.Analyze(ctx, detector, body)
 				lat := time.Since(t0)
 				switch {
 				case err == nil:
@@ -195,7 +269,7 @@ func run(ctx context.Context, client *server.Client, detector string, data []byt
 	return out
 }
 
-func (r *result) summary(detector string, traceBytes int) string {
+func (r *result) summary(detector string, traceBytes int64) string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "detector  : %s\n", detector)
 	fmt.Fprintf(&b, "requests  : %d ok, %d rejected (saturated), %d failed in %v\n",

@@ -8,6 +8,7 @@ import (
 
 	_ "spd3/internal/detectors"
 	"spd3/internal/server"
+	"spd3/internal/stats"
 )
 
 func TestPercentile(t *testing.T) {
@@ -38,7 +39,7 @@ func TestLoadAgainstDaemon(t *testing.T) {
 	defer ts.Close()
 
 	client := server.NewClient(ts.URL)
-	res := run(context.Background(), client, "spd3", data, 4, 20, 0)
+	res := run(context.Background(), client, "spd3", data, 1, 4, 20, 0)
 	if res.ok != 20 || res.rejected != 0 || res.failed != 0 {
 		t.Fatalf("ok/rejected/failed = %d/%d/%d (first err %v), want 20/0/0",
 			res.ok, res.rejected, res.failed, res.firstErr)
@@ -48,5 +49,22 @@ func TestLoadAgainstDaemon(t *testing.T) {
 	}
 	if len(res.latencies) != 20 || percentile(res.latencies, 1) <= 0 {
 		t.Fatalf("latencies = %d samples, max %v", len(res.latencies), percentile(res.latencies, 1))
+	}
+
+	// -scale streams an amplified trace per request; the verdict must
+	// survive amplification and the daemon must report the larger body.
+	res = run(context.Background(), client, "spd3", data, 4, 2, 4, 0)
+	if res.ok != 4 || res.failed != 0 {
+		t.Fatalf("scaled ok/failed = %d/%d (first err %v), want 4/0", res.ok, res.failed, res.firstErr)
+	}
+	if !res.racy {
+		t.Fatal("amplified RacyMonteCarlo analyzed race-free")
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed := st.Stats.Get(stats.SrvStreamedBytes); streamed < int64(len(data))*4*4 {
+		t.Fatalf("srv.streamed_bytes = %d, want at least %d (4 requests × 4 copies)", streamed, len(data)*16)
 	}
 }

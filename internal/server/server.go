@@ -26,9 +26,22 @@
 // Decode failures map to precise status codes via the trace package's
 // typed errors: 400 malformed, 413 over resource limits, 422
 // sequential-only detector on a parallel trace, 404 unknown detector.
+//
+// The analyze path streams and shards. The request body is never
+// buffered in full: bytes flow through a counting limiter (overflow →
+// the same trace.ErrLimit → 413 path as declared-resource limits) and a
+// cancel-aware reader straight into the trace decoder, so daemon memory
+// stays proportional to the live task set of the replay — SPD3's O(1)
+// per-location space guarantee end-to-end — and a trace far larger than
+// the daemon's memory ceiling analyzes to the exact verdict a buffered
+// replay would reach. On top of that, a finish-scope splitter cuts the
+// stream into independently replayable segments fanned across a bounded
+// worker pool (see shard.go), so one giant trace parallelizes instead
+// of pinning a slot for its full serial replay time.
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -37,7 +50,9 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -76,6 +91,18 @@ type Config struct {
 	// (the verdict stays exact; Capped marks truncation). Defaults to
 	// 256.
 	MaxRacesPerReport int
+	// ShardWorkers bounds concurrent segment replays across the whole
+	// daemon (the shard pool). 0 means GOMAXPROCS; negative disables
+	// sharding entirely, so every analysis streams through a single
+	// replay.
+	ShardWorkers int
+	// MinSegmentBytes coalesces tiny finish scopes before a cut.
+	// Defaults to 256 KiB.
+	MinSegmentBytes int
+	// MaxSegmentBytes bounds how much one segment may buffer before the
+	// analysis falls back to a single streamed replay. Defaults to
+	// 32 MiB.
+	MaxSegmentBytes int
 	// Log receives one line per analysis; nil disables.
 	Log *log.Logger
 }
@@ -83,12 +110,14 @@ type Config struct {
 // Server is the spd3d request handler plus its admission control and
 // counters. Create with New; serve via Handler.
 type Server struct {
-	cfg    Config
-	rec    *stats.Recorder // srv.* counters, sharded by request sequence
-	reqSeq atomic.Int64
-	sem    chan struct{}
-	start  time.Time
-	mux    *http.ServeMux
+	cfg      Config
+	rec      *stats.Recorder // srv.* counters, sharded by request sequence
+	reqSeq   atomic.Int64
+	sem      chan struct{}
+	pool     *shardPool // nil when sharding is disabled
+	peakHeap atomic.Uint64
+	start    time.Time
+	mux      *http.ServeMux
 
 	mu       sync.Mutex
 	draining bool
@@ -114,12 +143,24 @@ func New(cfg Config) *Server {
 	if cfg.MaxRacesPerReport <= 0 {
 		cfg.MaxRacesPerReport = 256
 	}
+	if cfg.ShardWorkers == 0 {
+		cfg.ShardWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MinSegmentBytes <= 0 {
+		cfg.MinSegmentBytes = 256 << 10
+	}
+	if cfg.MaxSegmentBytes <= 0 {
+		cfg.MaxSegmentBytes = 32 << 20
+	}
 	s := &Server{
 		cfg:   cfg,
 		rec:   stats.New(0),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 		mux:   http.NewServeMux(),
+	}
+	if cfg.ShardWorkers > 0 {
+		s.pool = newShardPool(cfg.ShardWorkers)
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /v1/detectors", s.handleDetectors)
@@ -232,6 +273,12 @@ type Report struct {
 	Sequential bool      `json:"sequential"`
 	TraceBytes int64     `json:"trace_bytes"`
 	Verdicts   []Verdict `json:"verdicts"`
+	// Sharded reports whether the analysis ran through the finish-scope
+	// splitter and worker pool; Segments is how many independently
+	// replayed units the trace was cut into (1 when it had no interior
+	// top-level finish boundary).
+	Sharded  bool `json:"sharded,omitempty"`
+	Segments int  `json:"segments,omitempty"`
 	// Agree is set in differential mode: whether every detector
 	// reached the same racy/race-free verdict.
 	Agree *bool `json:"agree,omitempty"`
@@ -247,15 +294,30 @@ type ErrorReport struct {
 
 // Statsz is the /statsz response: server gauges plus the merged
 // observability snapshot (srv.* counters and the analysis counters
-// accumulated across every completed replay).
+// accumulated across every completed replay). The memory gauges exist
+// so the flat-ceiling claim is measurable from outside: spd3load polls
+// them while streaming traces far larger than the daemon's budget.
 type Statsz struct {
-	Tool          string         `json:"tool"`
-	Version       string         `json:"version"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	InFlight      int            `json:"in_flight"`
-	MaxInFlight   int            `json:"max_in_flight"`
-	Draining      bool           `json:"draining"`
-	Stats         stats.Snapshot `json:"stats"`
+	Tool          string  `json:"tool"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int     `json:"in_flight"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	Draining      bool    `json:"draining"`
+	// ShardWorkers is the shard pool's concurrency bound (0 when
+	// sharding is disabled); ShardBusy its live occupancy.
+	ShardWorkers int `json:"shard_workers"`
+	ShardBusy    int `json:"shard_busy"`
+	// HeapAllocBytes and SysBytes are the Go runtime's live heap and
+	// total OS-claimed memory; PeakHeapBytes is the largest HeapAlloc
+	// the daemon has observed (sampled after every analysis and on
+	// every /statsz); PeakRSSBytes is the process's high-water resident
+	// set from the OS (0 where unavailable).
+	HeapAllocBytes uint64         `json:"heap_alloc_bytes"`
+	SysBytes       uint64         `json:"sys_bytes"`
+	PeakHeapBytes  uint64         `json:"peak_heap_bytes"`
+	PeakRSSBytes   int64          `json:"peak_rss_bytes"`
+	Stats          stats.Snapshot `json:"stats"`
 }
 
 // DetectorList is the /v1/detectors response.
@@ -297,18 +359,19 @@ func statusFor(err error) int {
 	}
 }
 
-// analyze replays data into a fresh instance of the named detector and
-// folds the run's stats into the server aggregate.
-func (s *Server) analyze(name string, data []byte, lim trace.Limits, withStats bool) (Verdict, error) {
+// analyzeOnce replays one trace stream into a fresh instance of the
+// named detector and folds the run's stats into the server aggregate.
+// It is the unit of work for both whole-trace replays and segment jobs.
+func (s *Server) analyzeOnce(name string, rd io.Reader, lim trace.Limits) (Verdict, stats.Snapshot, error) {
 	sink := detect.NewSink(false, s.cfg.MaxRacesPerReport)
 	rec := stats.New(1)
 	sink.SetStats(rec.Shard(0))
 	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec})
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, stats.Snapshot{}, err
 	}
 	start := time.Now()
-	replayErr := trace.ReplayWithLimits(bytes.NewReader(data), det, lim)
+	replayErr := trace.ReplayWithLimits(rd, det, lim)
 	dur := time.Since(start)
 
 	snap := rec.Snapshot()
@@ -317,7 +380,7 @@ func (s *Server) analyze(name string, data []byte, lim trace.Limits, withStats b
 	s.agg.Merge(snap)
 	s.mu.Unlock()
 	if replayErr != nil {
-		return Verdict{}, replayErr
+		return Verdict{}, snap, replayErr
 	}
 
 	races := sink.Races()
@@ -332,17 +395,25 @@ func (s *Server) analyze(name string, data []byte, lim trace.Limits, withStats b
 	for _, r := range races {
 		v.Races = append(v.Races, Race{Kind: r.Kind.String(), Region: r.Region, Index: r.Index, Prev: r.PrevStep, Cur: r.CurStep})
 	}
-	if withStats {
-		v.Stats = &snap
-	}
-	return v, nil
+	return v, snap, nil
 }
 
-// isSequentialTrace peeks at the recorded executor flag without decoding
-// the stream; a malformed header is caught later by the replay itself.
-func isSequentialTrace(data []byte) bool {
-	const headerLen = 9 // magic + executor byte
-	return len(data) >= headerLen && data[headerLen-1] == 1
+// traceHeaderLen is magic plus the executor byte.
+const traceHeaderLen = len("SPD3TRC1") + 1
+
+// eligibleDetectors is differential mode's fan-out set: every
+// registered detector that can legally consume the trace
+// (sequential-only detectors join only for depth-first traces; the
+// uninstrumented "none" baseline has no verdict and is skipped).
+func eligibleDetectors(sequential bool) []string {
+	var names []string
+	for _, d := range detect.Describe() {
+		if d.Name == "none" || (d.Sequential && !sequential) {
+			continue
+		}
+		names = append(names, d.Name)
+	}
+	return names
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -373,81 +444,133 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.sem }()
 
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	s.shard().Add(stats.SrvBytesRead, int64(len(data)))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "trace exceeds the %d-byte body cap", mbe.Limit)
-			return
-		}
-		s.shard().Inc(stats.SrvCanceled)
-		s.writeError(w, http.StatusBadRequest, "reading trace body: %v", err)
-		return
-	}
-
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
+		// The HTTP body's read deadline is sticky once exceeded, so one
+		// absolute deadline (rather than CancelReader's re-arming
+		// slices) guarantees no body read outlives the request even if
+		// the client stalls mid-upload; the CancelReader's per-read
+		// poll catches cancellation whenever bytes are flowing.
+		http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout)) //nolint:errcheck // best-effort; ResponseWriters without deadlines still get the per-read poll
 	}
+
+	// The single counting limiter that replaced MaxBytesReader +
+	// io.ReadAll: the decoder pulls bytes through it incrementally, and
+	// overflow surfaces as trace.ErrLimit from inside the replay — the
+	// same errors.Is class, and so the same 413, as declared-resource
+	// limits. Nothing below this point holds the body in full.
+	limiter := trace.NewLimitedReader(r.Body, s.cfg.MaxBodyBytes)
+	body := bufio.NewReaderSize(trace.NewCancelReader(limiter, ctx.Done(), nil), 64<<10)
+
+	// Peek at the executor byte for the report and detector
+	// eligibility; header errors surface through the decode below.
+	head, _ := body.Peek(traceHeaderLen)
+	sequential := len(head) == traceHeaderLen && head[traceHeaderLen-1] == 1
+
 	lim := s.cfg.Limits
 	lim.Cancel = ctx.Done()
 	withStats := r.URL.Query().Get("stats") != ""
+	names := []string{name}
+	if name == "all" {
+		names = eligibleDetectors(sequential)
+	}
+
+	var (
+		verdicts []Verdict
+		segments int
+		firstErr error
+	)
+	sharded := s.pool != nil && r.URL.Query().Get("shard") != "off"
+	switch {
+	case sharded:
+		var sp *trace.Splitter
+		sp, firstErr = trace.NewSplitter(body, trace.SplitConfig{
+			MinSegmentBytes: s.cfg.MinSegmentBytes,
+			MaxSegmentBytes: s.cfg.MaxSegmentBytes,
+		})
+		if firstErr == nil {
+			verdicts, segments, firstErr = s.analyzeSharded(ctx, names, sp, lim, withStats)
+		}
+	case len(names) == 1:
+		// Sharding off, one detector: the body streams through a
+		// single replay; memory stays flat, with no segment buffering
+		// at all.
+		var (
+			v    Verdict
+			snap stats.Snapshot
+		)
+		v, snap, firstErr = s.analyzeOnce(names[0], body, lim)
+		if firstErr == nil {
+			if withStats {
+				v.Stats = &snap
+			}
+			verdicts = []Verdict{v}
+		}
+	default:
+		// Sharding off, differential mode: several detectors must each
+		// consume the same bytes, so this is the one path that still
+		// buffers the body (bounded by the limiter) before fanning out
+		// concurrently.
+		var data []byte
+		data, firstErr = io.ReadAll(body)
+		if firstErr == nil {
+			verdicts, firstErr = s.analyzeAllBuffered(names, data, lim, withStats)
+		}
+	}
+
+	streamed := limiter.Count()
+	sh := s.shard()
+	sh.Add(stats.SrvBytesRead, streamed)
+	if sharded || len(names) == 1 {
+		sh.Add(stats.SrvStreamedBytes, streamed)
+	}
+	defer s.sampleMem()
+
+	if firstErr != nil {
+		// A failure on a canceled request reports as canceled even
+		// when the proximate error was a read deadline or a decode
+		// hiccup mid-abort: the deadline is the cause.
+		if errors.Is(firstErr, trace.ErrCanceled) || ctx.Err() != nil {
+			s.shard().Inc(stats.SrvCanceled)
+			s.logf("analyze detector=%s bytes=%d: canceled (%v)", name, streamed, ctx.Err())
+			s.writeError(w, http.StatusGatewayTimeout, "analysis canceled: %v", ctx.Err())
+			return
+		}
+		s.logf("analyze detector=%s bytes=%d: %v", name, streamed, firstErr)
+		s.writeError(w, statusFor(firstErr), "%v", firstErr)
+		return
+	}
 
 	rep := &Report{
 		Tool:       Tool,
 		Version:    Version,
 		Detector:   name,
-		Sequential: isSequentialTrace(data),
-		TraceBytes: int64(len(data)),
+		Sequential: sequential,
+		TraceBytes: streamed,
+		Verdicts:   verdicts,
+		Sharded:    sharded,
+		Segments:   segments,
 	}
-
-	var firstErr error
 	if name == "all" {
-		rep.Verdicts, firstErr = s.analyzeAll(rep.Sequential, data, lim, withStats)
-		if firstErr == nil {
-			agree := true
-			for _, v := range rep.Verdicts {
-				agree = agree && v.Racy == rep.Verdicts[0].Racy
-			}
-			rep.Agree = &agree
+		agree := true
+		for _, v := range rep.Verdicts {
+			agree = agree && v.Racy == rep.Verdicts[0].Racy
 		}
-	} else {
-		var v Verdict
-		v, firstErr = s.analyze(name, data, lim, withStats)
-		rep.Verdicts = []Verdict{v}
-	}
-
-	if firstErr != nil {
-		if errors.Is(firstErr, trace.ErrCanceled) {
-			s.shard().Inc(stats.SrvCanceled)
-			s.logf("analyze detector=%s bytes=%d: canceled (%v)", name, len(data), ctx.Err())
-			s.writeError(w, http.StatusGatewayTimeout, "analysis canceled: %v", ctx.Err())
-			return
-		}
-		s.logf("analyze detector=%s bytes=%d: %v", name, len(data), firstErr)
-		s.writeError(w, statusFor(firstErr), "%v", firstErr)
-		return
+		rep.Agree = &agree
 	}
 	s.shard().Add(stats.SrvAnalyses, int64(len(rep.Verdicts)))
-	s.logf("analyze detector=%s bytes=%d verdicts=%d racy=%v", name, len(data), len(rep.Verdicts), rep.Verdicts[0].Racy)
+	s.logf("analyze detector=%s bytes=%d segments=%d verdicts=%d racy=%v",
+		name, streamed, segments, len(rep.Verdicts), rep.Verdicts[0].Racy)
 	s.writeJSON(w, http.StatusOK, rep)
 }
 
-// analyzeAll is differential mode: one trace fanned out concurrently to
-// every registered detector that can legally consume it (sequential-only
-// detectors join only for depth-first traces; the uninstrumented "none"
-// baseline has no verdict and is skipped).
-func (s *Server) analyzeAll(sequential bool, data []byte, lim trace.Limits, withStats bool) ([]Verdict, error) {
-	var names []string
-	for _, d := range detect.Describe() {
-		if d.Name == "none" || (d.Sequential && !sequential) {
-			continue
-		}
-		names = append(names, d.Name)
-	}
+// analyzeAllBuffered fans one fully buffered trace out concurrently to
+// every named detector — the pre-streaming differential path, kept for
+// shard=off requests.
+func (s *Server) analyzeAllBuffered(names []string, data []byte, lim trace.Limits, withStats bool) ([]Verdict, error) {
 	verdicts := make([]Verdict, len(names))
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
@@ -455,7 +578,11 @@ func (s *Server) analyzeAll(sequential bool, data []byte, lim trace.Limits, with
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			verdicts[i], errs[i] = s.analyze(name, data, lim, withStats)
+			v, snap, err := s.analyzeOnce(name, bytes.NewReader(data), lim)
+			if err == nil && withStats {
+				v.Stats = &snap
+			}
+			verdicts[i], errs[i] = v, err
 		}()
 	}
 	wg.Wait()
@@ -484,19 +611,71 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, health{Tool, Version, "ok"})
 }
 
+// sampleMem reads the runtime's heap gauges and folds HeapAlloc into
+// the monotonic peak. Because the peak only grows, spd3load needs no
+// sampler goroutine racing the analysis: one /statsz read after the run
+// sees the high-water mark.
+func (s *Server) sampleMem() (heapAlloc, sys uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	for {
+		old := s.peakHeap.Load()
+		if m.HeapAlloc <= old || s.peakHeap.CompareAndSwap(old, m.HeapAlloc) {
+			break
+		}
+	}
+	return m.HeapAlloc, m.Sys
+}
+
+// vmHWM returns the process's peak resident set (VmHWM from
+// /proc/self/status) in bytes, or 0 where the proc filesystem is
+// unavailable.
+func vmHWM() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.rec.Snapshot()
 	s.mu.Lock()
 	snap.Merge(s.agg)
 	inFlight, draining := s.active, s.draining
 	s.mu.Unlock()
+	heapAlloc, sys := s.sampleMem()
+	shardWorkers, shardBusy := 0, 0
+	if s.pool != nil {
+		shardWorkers, shardBusy = s.pool.Workers(), s.pool.Busy()
+	}
 	s.writeJSON(w, http.StatusOK, Statsz{
-		Tool:          Tool,
-		Version:       Version,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		InFlight:      inFlight,
-		MaxInFlight:   s.cfg.MaxInFlight,
-		Draining:      draining,
-		Stats:         snap,
+		Tool:           Tool,
+		Version:        Version,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		InFlight:       inFlight,
+		MaxInFlight:    s.cfg.MaxInFlight,
+		Draining:       draining,
+		ShardWorkers:   shardWorkers,
+		ShardBusy:      shardBusy,
+		HeapAllocBytes: heapAlloc,
+		SysBytes:       sys,
+		PeakHeapBytes:  s.peakHeap.Load(),
+		PeakRSSBytes:   vmHWM(),
+		Stats:          snap,
 	})
 }

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"spd3/internal/stats"
+	"spd3/internal/trace"
+)
+
+// amplified returns the benign-race benchmark trace amplified to copies
+// runs — each copy's wrap finish is a top-level boundary, so the
+// splitter can cut it back into roughly copy-sized segments.
+func amplified(t *testing.T, copies int) []byte {
+	t.Helper()
+	amp, err := trace.AmplifyBytes(recordRacyMonteCarlo(t), copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return amp
+}
+
+// TestShardedAnalyze is the tentpole's end-to-end shape: a large
+// amplified trace streams in, splits at finish boundaries, fans across
+// the worker pool, and the merged report carries the same verdict a
+// whole-trace replay reaches.
+func TestShardedAnalyze(t *testing.T) {
+	amp := amplified(t, 12)
+	_, ts := newTestServer(t, Config{MinSegmentBytes: 1})
+
+	resp, body := post(t, ts.URL+"/v1/analyze?detector=spd3", amp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	rep := decodeReport(t, body)
+	if !rep.Sharded {
+		t.Fatal("report not marked sharded")
+	}
+	if rep.Segments <= 1 {
+		t.Fatalf("segments = %d, want > 1 for a 12x-amplified trace", rep.Segments)
+	}
+	if len(rep.Verdicts) != 1 || !rep.Verdicts[0].Racy {
+		t.Fatalf("verdicts = %+v, want one racy spd3 verdict", rep.Verdicts)
+	}
+	if rep.TraceBytes != int64(len(amp)) {
+		t.Fatalf("trace_bytes = %d, want %d", rep.TraceBytes, len(amp))
+	}
+
+	// shard=off forces the single-stream replay; the verdict must not
+	// change, only the execution strategy.
+	resp, body = post(t, ts.URL+"/v1/analyze?detector=spd3&shard=off", amp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard=off status = %d\n%s", resp.StatusCode, body)
+	}
+	off := decodeReport(t, body)
+	if off.Sharded || off.Segments != 0 {
+		t.Fatalf("shard=off report sharded=%v segments=%d", off.Sharded, off.Segments)
+	}
+	if off.Verdicts[0].Racy != rep.Verdicts[0].Racy || off.Verdicts[0].RaceCount != rep.Verdicts[0].RaceCount {
+		t.Fatalf("sharded verdict (racy=%v races=%d) != streamed verdict (racy=%v races=%d)",
+			rep.Verdicts[0].Racy, rep.Verdicts[0].RaceCount, off.Verdicts[0].Racy, off.Verdicts[0].RaceCount)
+	}
+}
+
+// TestShardedDifferential: detector=all shards per detector; every
+// detector sees every segment and they still agree.
+func TestShardedDifferential(t *testing.T) {
+	amp := amplified(t, 6)
+	_, ts := newTestServer(t, Config{MinSegmentBytes: 1})
+
+	resp, body := post(t, ts.URL+"/v1/analyze?detector=all", amp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	rep := decodeReport(t, body)
+	if !rep.Sharded || rep.Segments <= 1 {
+		t.Fatalf("sharded=%v segments=%d, want sharded multi-segment", rep.Sharded, rep.Segments)
+	}
+	if len(rep.Verdicts) < 2 {
+		t.Fatalf("differential mode returned %d verdicts", len(rep.Verdicts))
+	}
+	if rep.Agree == nil || !*rep.Agree {
+		t.Fatalf("agree = %v, want true: %+v", rep.Agree, rep.Verdicts)
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Racy {
+			t.Fatalf("detector %s missed the race on the amplified trace", v.Detector)
+		}
+	}
+}
+
+// TestShardingDisabled: negative ShardWorkers turns the splitter off
+// entirely; analyses stream through a single replay.
+func TestShardingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{ShardWorkers: -1})
+	resp, body := post(t, ts.URL+"/v1/analyze?detector=spd3", amplified(t, 4))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	rep := decodeReport(t, body)
+	if rep.Sharded || rep.Segments != 0 {
+		t.Fatalf("sharded=%v segments=%d with sharding disabled", rep.Sharded, rep.Segments)
+	}
+	if !rep.Verdicts[0].Racy {
+		t.Fatal("verdict lost without sharding")
+	}
+}
+
+// TestShardedUnsplitFallback: a trace whose single finish scope exceeds
+// the segment cap falls back to one streamed replay instead of failing
+// or buffering without bound.
+func TestShardedUnsplitFallback(t *testing.T) {
+	data := synthTrace(t, 30_000) // no interior boundary
+	_, ts := newTestServer(t, Config{MinSegmentBytes: 1, MaxSegmentBytes: 1024})
+
+	resp, body := post(t, ts.URL+"/v1/analyze?detector=spd3", data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	rep := decodeReport(t, body)
+	if !rep.Sharded || rep.Segments != 1 {
+		t.Fatalf("sharded=%v segments=%d, want sharded single-segment fallback", rep.Sharded, rep.Segments)
+	}
+	st := getStatsz(t, ts.URL)
+	if got := st.Stats.Get(stats.SrvUnsplit); got != 1 {
+		t.Fatalf("srv.unsplit = %d, want 1", got)
+	}
+}
+
+// TestShardObservability pins the new /statsz surface: streamed-byte and
+// segment counters move, the pool gauges read sensibly at idle, and the
+// memory gauges are live.
+func TestShardObservability(t *testing.T) {
+	amp := amplified(t, 8)
+	_, ts := newTestServer(t, Config{MinSegmentBytes: 1})
+
+	resp, body := post(t, ts.URL+"/v1/analyze?detector=spd3", amp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	rep := decodeReport(t, body)
+
+	st := getStatsz(t, ts.URL)
+	if got := st.Stats.Get(stats.SrvStreamedBytes); got != int64(len(amp)) {
+		t.Errorf("srv.streamed_bytes = %d, want %d", got, len(amp))
+	}
+	if got := st.Stats.Get(stats.SrvBytesRead); got != int64(len(amp)) {
+		t.Errorf("srv.bytes_read = %d, want %d", got, len(amp))
+	}
+	if got := st.Stats.Get(stats.TraceSegments); got != int64(rep.Segments) {
+		t.Errorf("trace.segments = %d, report says %d", got, rep.Segments)
+	}
+	if st.ShardWorkers <= 0 {
+		t.Errorf("shard_workers = %d, want > 0", st.ShardWorkers)
+	}
+	if st.ShardBusy != 0 {
+		t.Errorf("shard_busy = %d at idle, want 0", st.ShardBusy)
+	}
+	if st.HeapAllocBytes == 0 || st.PeakHeapBytes == 0 {
+		t.Errorf("memory gauges dead: heap=%d peak=%d", st.HeapAllocBytes, st.PeakHeapBytes)
+	}
+	if st.PeakHeapBytes < st.HeapAllocBytes/2 {
+		t.Errorf("peak heap %d implausibly below current heap %d", st.PeakHeapBytes, st.HeapAllocBytes)
+	}
+}

@@ -148,6 +148,9 @@ func (s Snapshot) String() string {
 	if v := s.Get(SrvRequests); v != 0 {
 		fmt.Fprintf(&b, " | srv: %d requests, %d analyses, %d rejected, %d canceled",
 			v, s.Get(SrvAnalyses), s.Get(SrvRejected), s.Get(SrvCanceled))
+		if sb, segs := s.Get(SrvStreamedBytes), s.Get(TraceSegments); sb != 0 || segs != 0 {
+			fmt.Fprintf(&b, ", %d B streamed, %d segments", sb, segs)
+		}
 	}
 	fmt.Fprintf(&b, " | footprint: %d B", s.Footprint.Total())
 	return b.String()

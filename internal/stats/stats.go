@@ -116,6 +116,25 @@ const (
 	// SrvCanceled counts replays aborted by a request deadline or a
 	// client disconnect (the trace.ErrCanceled path).
 	SrvCanceled
+	// SrvStreamedBytes counts trace bytes the daemon consumed
+	// incrementally — pulled through the body limiter straight into the
+	// streaming decode, never buffered in full. SrvBytesRead counts all
+	// body bytes; the gap between the two is whatever a buffered
+	// fallback (shard=off differential mode, oversize unsplit) had to
+	// materialize.
+	SrvStreamedBytes
+	// TraceSegments counts finish-scope segments cut by the trace
+	// splitter on the daemon's sharded analyze path.
+	TraceSegments
+	// SrvShardBusy is a gauge of shard-pool workers currently replaying
+	// a segment: incremented when a worker picks a segment up,
+	// decremented when it finishes, so a snapshot reads the live
+	// occupancy (and an idle daemon reads zero).
+	SrvShardBusy
+	// SrvUnsplit counts analyses that abandoned sharding because one
+	// finish scope outgrew the segment cap and fell back to a single
+	// streamed replay of the remainder.
+	SrvUnsplit
 
 	// NumCounters is the number of Counter values; not itself a
 	// counter.
@@ -146,6 +165,10 @@ var counterNames = [NumCounters]string{
 	SrvAnalyses:          "srv.analyses",
 	SrvRejected:          "srv.rejected",
 	SrvCanceled:          "srv.canceled",
+	SrvStreamedBytes:     "srv.streamed_bytes",
+	TraceSegments:        "trace.segments",
+	SrvShardBusy:         "srv.shard_workers_busy",
+	SrvUnsplit:           "srv.unsplit",
 }
 
 // String returns the counter's stable wire name.

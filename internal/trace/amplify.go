@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Amplifier synthesizes an N×-larger trace from a single-run base
+// trace, streaming it out through io.Reader so a multi-gigabyte load
+// body never exists in memory at once.
+//
+// Naive concatenation of trace bodies is unsound: repeating the
+// main-task event makes vector-clock detectors treat each copy's tasks
+// as concurrent with every other copy's, conjuring races that the base
+// program cannot exhibit. The amplifier instead keeps one main task M
+// and wraps each copy k in its own finish scope:
+//
+//	FinishStart(M, W_k)          // wrap finish for copy k
+//	Spawn(M, M_k, W_k)           // copy's stand-in main task
+//	FinishStart(M_k, F0_k)       // stand-in for the base's implicit finish
+//	...base body, IDs remapped...
+//	FinishEnd(M, W_k)
+//
+// Task, finish, and lock IDs shift by a per-copy stride past the base's
+// maxima; region IDs shift by the base's region count, keeping the
+// sequential-declaration invariant. Because W_k closes before W_{k+1}
+// opens, the DPST orders the copies totally: the amplified trace is
+// race-free iff the base is, every race in a copy is the base's race
+// relocated, and the layout stays depth-first, so sequential-only
+// detectors remain legal. Each FinishEnd(M, W_k) is also a top-level
+// finish boundary, which is what lets the Splitter shard amplified
+// load back into base-sized segments.
+type Amplifier struct {
+	base   []byte
+	copies int
+	seq    bool
+
+	mainTask, mainFin int64
+	taskStride        int64
+	finStride         int64
+	lockStride        int64
+	regionsPer        int64
+	hasMainEnd        bool
+	hasFinEnd         bool
+
+	stage int // 0 prologue, 1 copies, 2 epilogue, 3 done
+	k     int
+	out   bytes.Buffer
+	err   error
+}
+
+// NewAmplifier validates and pre-scans base (a complete recorded trace
+// of a single run) and returns a reader producing the amplified trace
+// with copies repetitions of the base body.
+func NewAmplifier(base []byte, copies int) (*Amplifier, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("trace: amplify: copies must be >= 1, got %d", copies)
+	}
+	dec, err := newDecoder(bytes.NewReader(base))
+	if err != nil {
+		return nil, err
+	}
+	a := &Amplifier{base: base, copies: copies, seq: dec.sequential}
+	var (
+		ev    event
+		first = true
+	)
+	maxTask, maxFin, maxLock := int64(-1), int64(-1), int64(-1)
+	bump := func(m *int64, v int64) {
+		if v > *m {
+			*m = v
+		}
+	}
+	for {
+		err := dec.next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			// Real recordings declare shadow regions created before the
+			// runtime starts ahead of the main-task event; emitCopy
+			// remaps declarations wherever they appear, so the pre-scan
+			// only needs to count them.
+			if ev.kind == evNewShadow || ev.kind == evNewShadowGrow {
+				a.regionsPer++
+				continue
+			}
+			if ev.kind != evMainTask {
+				return nil, fmt.Errorf("trace: %w: amplify base must open with its main task", ErrMalformed)
+			}
+			a.mainTask, a.mainFin = ev.args[0], ev.args[1]
+			first = false
+			bump(&maxTask, ev.args[0])
+			bump(&maxFin, ev.args[1])
+			continue
+		}
+		switch ev.kind {
+		case evMainTask:
+			return nil, fmt.Errorf("trace: %w: amplify base contains more than one run", ErrMalformed)
+		case evSpawn:
+			bump(&maxTask, ev.args[0])
+			bump(&maxTask, ev.args[1])
+			bump(&maxFin, ev.args[2])
+		case evTaskEnd:
+			bump(&maxTask, ev.args[0])
+			if ev.args[0] == a.mainTask {
+				a.hasMainEnd = true
+			}
+		case evFinishStart:
+			bump(&maxTask, ev.args[0])
+			bump(&maxFin, ev.args[1])
+		case evFinishEnd:
+			bump(&maxTask, ev.args[0])
+			bump(&maxFin, ev.args[1])
+			if ev.args[1] == a.mainFin {
+				a.hasFinEnd = true
+			}
+		case evAcquire, evRelease:
+			bump(&maxTask, ev.args[0])
+			bump(&maxLock, ev.args[1])
+		case evNewShadow, evNewShadowGrow:
+			a.regionsPer++
+		case evRead, evWrite:
+			bump(&maxTask, ev.args[1])
+		}
+	}
+	if first {
+		return nil, fmt.Errorf("trace: %w: amplify base has no events", ErrMalformed)
+	}
+	a.taskStride = maxTask + 1
+	a.finStride = maxFin + 1
+	a.lockStride = maxLock + 1
+	return a, nil
+}
+
+// SizeHint estimates the amplified trace's byte length. Copy overhead
+// (wrap events, widened varints) makes the true size slightly larger.
+func (a *Amplifier) SizeHint() int64 {
+	body := int64(len(a.base)) - int64(len(magic)) - 1
+	if body < 0 {
+		body = 0
+	}
+	return int64(len(magic)) + 1 + int64(a.copies)*(body+32) + 16
+}
+
+func (a *Amplifier) Read(p []byte) (int, error) {
+	for a.out.Len() == 0 {
+		if a.err != nil {
+			return 0, a.err
+		}
+		switch a.stage {
+		case 0:
+			a.out.Reset()
+			a.out.WriteString(magic)
+			if a.seq {
+				a.out.WriteByte(1)
+			} else {
+				a.out.WriteByte(0)
+			}
+			a.out.Write(appendEvent(nil, evMainTask, a.mainTask, a.mainFin))
+			a.stage = 1
+		case 1:
+			if a.k == a.copies {
+				a.stage = 2
+				continue
+			}
+			a.emitCopy(a.k)
+			a.k++
+		case 2:
+			var tail []byte
+			if a.hasFinEnd {
+				tail = appendEvent(tail, evFinishEnd, a.mainTask, a.mainFin)
+			}
+			if a.hasMainEnd {
+				tail = appendEvent(tail, evTaskEnd, a.mainTask)
+			}
+			a.out.Write(tail)
+			a.stage = 3
+		case 3:
+			return 0, io.EOF
+		}
+	}
+	return a.out.Read(p)
+}
+
+// emitCopy writes copy k (wrap finish + remapped base body) into the
+// output buffer.
+func (a *Amplifier) emitCopy(k int) {
+	dec, err := newDecoder(bytes.NewReader(a.base))
+	if err != nil {
+		a.err = err // unreachable: the prescan decoded the same bytes
+		return
+	}
+	ts := a.taskStride * int64(k+1)
+	fs := a.finStride * int64(k+1)
+	ls := a.lockStride * int64(k+1)
+	rs := a.regionsPer * int64(k)
+	// Wrap-finish IDs live past every per-copy shifted range.
+	wrapF := a.finStride*int64(a.copies+1) + int64(k)
+	mt, f0 := a.mainTask, a.mainFin
+	cm, cf := mt+ts, f0+fs
+
+	buf := a.out.AvailableBuffer()
+	buf = appendEvent(buf, evFinishStart, mt, wrapF)
+	buf = appendEvent(buf, evSpawn, mt, cm, wrapF)
+	buf = appendEvent(buf, evFinishStart, cm, cf)
+
+	sawFinEnd, sawMainEnd := false, false
+	var ev event
+	for {
+		err := dec.next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			a.err = err // unreachable, as above
+			return
+		}
+		switch ev.kind {
+		case evMainTask:
+			// Replaced by the wrap prologue above.
+		case evSpawn:
+			buf = appendEvent(buf, evSpawn, ev.args[0]+ts, ev.args[1]+ts, ev.args[2]+fs)
+		case evTaskEnd:
+			if ev.args[0] == mt {
+				sawMainEnd = true
+			}
+			buf = appendEvent(buf, evTaskEnd, ev.args[0]+ts)
+		case evFinishStart:
+			buf = appendEvent(buf, evFinishStart, ev.args[0]+ts, ev.args[1]+fs)
+		case evFinishEnd:
+			if ev.args[1] == f0 {
+				sawFinEnd = true
+			}
+			buf = appendEvent(buf, evFinishEnd, ev.args[0]+ts, ev.args[1]+fs)
+		case evAcquire, evRelease:
+			buf = appendEvent(buf, ev.kind, ev.args[0]+ts, ev.args[1]+ls)
+		case evNewShadow:
+			buf = appendEvent(buf, evNewShadow, ev.args[0]+rs, ev.args[1], ev.args[2])
+			buf = appendName(buf, ev.name)
+		case evNewShadowGrow:
+			buf = appendEvent(buf, evNewShadowGrow, ev.args[0]+rs, ev.args[1])
+			buf = appendName(buf, ev.name)
+		case evRead, evWrite:
+			buf = appendEvent(buf, ev.kind, ev.args[0]+rs, ev.args[1]+ts, ev.args[2])
+		}
+	}
+	// Close what the base left open, in contract order: a copy whose
+	// stand-in main already ended cannot legally close F0_k afterwards,
+	// so it stays dangling exactly like the base's implicit finish.
+	if !sawFinEnd && !sawMainEnd {
+		buf = appendEvent(buf, evFinishEnd, cm, cf)
+	}
+	if !sawMainEnd {
+		buf = appendEvent(buf, evTaskEnd, cm)
+	}
+	buf = appendEvent(buf, evFinishEnd, mt, wrapF)
+	a.out.Write(buf)
+}
+
+// AmplifyBytes materializes an amplified trace in memory — test and
+// small-scale convenience; production paths stream the Amplifier.
+func AmplifyBytes(base []byte, copies int) ([]byte, error) {
+	a, err := NewAmplifier(base, copies)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(a)
+}

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"spd3/internal/core"
@@ -10,10 +12,8 @@ import (
 	"spd3/internal/task"
 )
 
-// FuzzReplay feeds arbitrary bytes to the trace parser: it must reject or
-// accept them gracefully, never panic — Replay parses untrusted input.
-func FuzzReplay(f *testing.F) {
-	// Seed with real traces and near-misses.
+// fuzzSeeds populates f with real traces and near-misses.
+func fuzzSeeds(f *testing.F) {
 	for _, seed := range []int64{1, 2, 3} {
 		p := progen.Generate(seed, progen.Config{Locks: 1})
 		var buf bytes.Buffer
@@ -34,12 +34,75 @@ func FuzzReplay(f *testing.F) {
 	f.Add([]byte(magic))
 	f.Add([]byte("SPD3TRC1\x01\x01"))
 	f.Add([]byte{})
+}
 
+// isDecodeSentinel reports whether err belongs to the typed error
+// contract the daemon's status mapping relies on: a replay of untrusted
+// bytes may fail only with these classes.
+func isDecodeSentinel(err error) bool {
+	return errors.Is(err, ErrBadMagic) ||
+		errors.Is(err, ErrTruncated) ||
+		errors.Is(err, ErrMalformed) ||
+		errors.Is(err, ErrLimit)
+}
+
+// FuzzReplay feeds arbitrary bytes to the trace parser through a
+// chunked reader (exercising the incremental refill paths): it must
+// never panic, and any failure must carry exactly one of the typed
+// sentinels — an untyped error would reach clients as a 500.
+func FuzzReplay(f *testing.F) {
+	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sink := detect.NewSink(false, 0)
-		// Must not panic; errors are fine. Tight limits keep hostile
-		// region declarations from turning into large allocations.
+		// Tight limits keep hostile region declarations from turning
+		// into large allocations.
 		lim := Limits{MaxRegionElems: 1 << 16, MaxTotalElems: 1 << 18}
-		_ = ReplayWithLimits(bytes.NewReader(data), core.New(sink, core.SyncCAS), lim)
+		rd := &chunkReader{r: bytes.NewReader(data), n: 5}
+		err := ReplayWithLimits(rd, core.New(sink, core.SyncCAS), lim)
+		if err != nil && !isDecodeSentinel(err) {
+			t.Fatalf("untyped error escaped the replay: %v", err)
+		}
+	})
+}
+
+// FuzzSplitter drives the segment splitter over arbitrary bytes: no
+// panics, only sentinel errors (plus ErrSegmentOversize, which Unsplit
+// must then absorb), and every produced segment must itself replay
+// without tripping an untyped error.
+func FuzzSplitter(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := NewSplitter(&chunkReader{r: bytes.NewReader(data), n: 5}, SplitConfig{
+			MinSegmentBytes: 1,
+			MaxSegmentBytes: 1 << 16,
+		})
+		if err != nil {
+			if !isDecodeSentinel(err) {
+				t.Fatalf("untyped splitter header error: %v", err)
+			}
+			return
+		}
+		lim := Limits{MaxRegionElems: 1 << 16, MaxTotalElems: 1 << 18}
+		for i := 0; i < 64; i++ {
+			seg, err := sp.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if errors.Is(err, ErrSegmentOversize) {
+				if rerr := ReplayWithLimits(sp.Unsplit(), core.New(detect.NewSink(false, 0), core.SyncCAS), lim); rerr != nil && !isDecodeSentinel(rerr) {
+					t.Fatalf("untyped error from unsplit replay: %v", rerr)
+				}
+				return
+			}
+			if err != nil {
+				if !isDecodeSentinel(err) {
+					t.Fatalf("untyped splitter error: %v", err)
+				}
+				return
+			}
+			if rerr := ReplayWithLimits(bytes.NewReader(seg), core.New(detect.NewSink(false, 0), core.SyncCAS), lim); rerr != nil && !isDecodeSentinel(rerr) {
+				t.Fatalf("untyped error from segment replay: %v", rerr)
+			}
+		}
 	})
 }

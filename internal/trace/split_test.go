@@ -1,0 +1,333 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"spd3/internal/core"
+	"spd3/internal/detect"
+	"spd3/internal/fasttrack"
+	"spd3/internal/progen"
+	"spd3/internal/stats"
+	"spd3/internal/task"
+)
+
+// chunkReader delivers at most n bytes per Read, forcing the decoder to
+// exercise its incremental refill paths the way a network body does.
+type chunkReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+// analysis is one replay's complete observable outcome: verdict, race
+// list, and the stats snapshot the server would report.
+type analysis struct {
+	racy  bool
+	races []detect.Race
+	snap  stats.Snapshot
+	err   error
+}
+
+// analyzeReader replays rd into a fresh spd3 detector with stats wired
+// the way the daemon wires them.
+func analyzeReader(rd io.Reader) analysis {
+	sink := detect.NewSink(false, 0)
+	rec := stats.New(1)
+	sink.SetStats(rec.Shard(0))
+	det := core.New(sink, core.SyncCAS)
+	err := Replay(rd, det)
+	snap := rec.Snapshot()
+	snap.Footprint = det.Footprint()
+	return analysis{racy: !sink.Empty(), races: sink.Races(), snap: snap, err: err}
+}
+
+// TestStreamingMatchesBuffered is the differential property test: for
+// 150 generated programs, replaying the trace incrementally off a
+// 7-byte-chunk reader must produce the identical verdict, race list,
+// and stats snapshot as replaying it from a fully buffered slice.
+func TestStreamingMatchesBuffered(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := progen.Generate(seed, progen.Config{Locks: 1})
+		data := record(t, p, task.Sequential, 1)
+
+		buffered := analyzeReader(bytes.NewReader(data))
+		streaming := analyzeReader(&chunkReader{r: bytes.NewReader(data), n: 7})
+		if buffered.err != nil || streaming.err != nil {
+			t.Fatalf("seed %d: buffered err %v, streaming err %v", seed, buffered.err, streaming.err)
+		}
+		if buffered.racy != streaming.racy {
+			t.Fatalf("seed %d: buffered racy=%v, streaming racy=%v\n%s", seed, buffered.racy, streaming.racy, p)
+		}
+		if !reflect.DeepEqual(buffered.races, streaming.races) {
+			t.Fatalf("seed %d: race lists diverge\nbuffered:  %v\nstreaming: %v", seed, buffered.races, streaming.races)
+		}
+		if !reflect.DeepEqual(buffered.snap, streaming.snap) {
+			t.Fatalf("seed %d: stats snapshots diverge\nbuffered:  %v\nstreaming: %v", seed, buffered.snap, streaming.snap)
+		}
+	}
+}
+
+// segKey identifies a race the way the server's shard merge does; step
+// labels are segment-relative and excluded.
+type segKey struct {
+	kind   string
+	region string
+	index  int
+}
+
+func keySet(races []detect.Race) map[segKey]struct{} {
+	m := make(map[segKey]struct{}, len(races))
+	for _, r := range races {
+		m[segKey{r.Kind.String(), r.Region, r.Index}] = struct{}{}
+	}
+	return m
+}
+
+// TestSplitterUnionMatchesWhole: splitting at every available finish
+// boundary and unioning per-segment results must reproduce the
+// whole-trace verdict and race set — the soundness property the sharded
+// server path rests on.
+func TestSplitterUnionMatchesWhole(t *testing.T) {
+	multi := 0
+	for seed := int64(0); seed < 150; seed++ {
+		p := progen.Generate(seed, progen.Config{Locks: 1})
+		data := record(t, p, task.Sequential, 1)
+		whole := analyzeReader(bytes.NewReader(data))
+		if whole.err != nil {
+			t.Fatal(whole.err)
+		}
+
+		sp, err := NewSplitter(bytes.NewReader(data), SplitConfig{MinSegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		racy := false
+		union := map[segKey]struct{}{}
+		segs := 0
+		for {
+			seg, err := sp.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("seed %d: segment %d: %v", seed, segs, err)
+			}
+			segs++
+			a := analyzeReader(bytes.NewReader(seg))
+			if a.err != nil {
+				t.Fatalf("seed %d: segment %d replay: %v", seed, segs, a.err)
+			}
+			racy = racy || a.racy
+			for k := range keySet(a.races) {
+				union[k] = struct{}{}
+			}
+		}
+		if segs != sp.Segments() {
+			t.Fatalf("seed %d: counted %d segments, splitter says %d", seed, segs, sp.Segments())
+		}
+		if segs > 1 {
+			multi++
+		}
+		if racy != whole.racy {
+			t.Fatalf("seed %d: union racy=%v, whole racy=%v (%d segments)\n%s", seed, racy, whole.racy, segs, p)
+		}
+		if !reflect.DeepEqual(union, keySet(whole.races)) {
+			t.Fatalf("seed %d: race sets diverge\nunion: %v\nwhole: %v", seed, union, keySet(whole.races))
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no seed produced a multi-segment split; the test is vacuous")
+	}
+}
+
+// TestSplitterHoldsCutWhileMainHoldsLock pins the lock-boundary rule: a
+// top-level FinishEnd reached while the main task holds a lock is not a
+// cut point, because the segment after it would open with a Release it
+// never Acquired.
+func TestSplitterHoldsCutWhileMainHoldsLock(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, true)
+	mt := &detect.Task{ID: 0}
+	f0 := &detect.Finish{ID: 0, Owner: mt}
+	mt.IEF = f0
+	rec.MainTask(mt, f0)
+	sh := rec.NewShadow(detect.Spec("r", 8, 8))
+	lk := &detect.Lock{ID: 1}
+
+	rec.Acquire(mt, lk)
+	f1 := &detect.Finish{ID: 1, Owner: mt}
+	rec.FinishStart(mt, f1)
+	sh.Write(mt, 0)
+	rec.FinishEnd(mt, f1) // top-level boundary shape, but the lock is held
+	rec.Release(mt, lk)
+
+	f2 := &detect.Finish{ID: 2, Owner: mt}
+	rec.FinishStart(mt, f2)
+	sh.Write(mt, 1)
+	rec.FinishEnd(mt, f2) // legal boundary
+
+	sh.Read(mt, 2)
+	rec.TaskEnd(mt)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := NewSplitter(bytes.NewReader(buf.Bytes()), SplitConfig{MinSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs [][]byte
+	for {
+		seg, err := sp.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, seg)
+	}
+	// A cut after f1's end would yield three segments (and an unmatched
+	// Release); suppression yields exactly two.
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2 (cut only after the lock released)", len(segs))
+	}
+	for i, seg := range segs {
+		sink := detect.NewSink(false, 0)
+		if err := Replay(bytes.NewReader(seg), fasttrack.New(sink)); err != nil {
+			t.Fatalf("segment %d not self-contained under fasttrack: %v", i, err)
+		}
+		if err := Replay(bytes.NewReader(seg), core.New(detect.NewSink(false, 0), core.SyncCAS)); err != nil {
+			t.Fatalf("segment %d not self-contained under spd3: %v", i, err)
+		}
+	}
+}
+
+// TestSplitterMultiRunTrace: a trace holding two back-to-back runs from
+// one recorder (two main-task events, region IDs continuing across the
+// gap) splits at the run boundary and each piece replays cleanly.
+func TestSplitterMultiRunTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, true)
+	mt1 := &detect.Task{ID: 0}
+	f0 := &detect.Finish{ID: 0, Owner: mt1}
+	mt1.IEF = f0
+	rec.MainTask(mt1, f0)
+	shA := rec.NewShadow(detect.Spec("a", 8, 8))
+	for i := 0; i < 50; i++ {
+		shA.Write(mt1, i%8)
+	}
+	rec.TaskEnd(mt1)
+
+	mt2 := &detect.Task{ID: 1}
+	f1 := &detect.Finish{ID: 1, Owner: mt2}
+	mt2.IEF = f1
+	rec.MainTask(mt2, f1)
+	shB := rec.NewShadow(detect.Spec("b", 8, 8)) // region 1: IDs continue across runs
+	for i := 0; i < 50; i++ {
+		shA.Read(mt2, i%8) // the new run touches the old run's region too
+		shB.Write(mt2, i%8)
+	}
+	rec.TaskEnd(mt2)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	whole := &countingDetector{trigger: -1}
+	if err := Replay(bytes.NewReader(data), whole); err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := NewSplitter(bytes.NewReader(data), SplitConfig{MinSegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, total := 0, 0
+	for {
+		seg, err := sp.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs++
+		det := &countingDetector{trigger: -1}
+		if err := Replay(bytes.NewReader(seg), det); err != nil {
+			t.Fatalf("segment %d: %v", segs, err)
+		}
+		total += det.events
+	}
+	// MinSegmentBytes is far above the trace size, so only the run gap
+	// (which ignores coalescing) can cut: exactly two segments.
+	if segs != 2 {
+		t.Fatalf("got %d segments, want 2 (one per run)", segs)
+	}
+	if total != whole.events {
+		t.Fatalf("segments saw %d accesses, whole trace saw %d", total, whole.events)
+	}
+}
+
+// TestSplitterOversizeUnsplit: a trace with no interior boundary trips
+// the segment cap, and Unsplit recovers the entire remaining trace for
+// single-stream analysis — nothing already consumed is lost.
+func TestSplitterOversizeUnsplit(t *testing.T) {
+	const accesses = 50_000
+	data := synthTrace(t, accesses)
+
+	sp, err := NewSplitter(bytes.NewReader(data), SplitConfig{MinSegmentBytes: 1, MaxSegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Next(); !errors.Is(err, ErrSegmentOversize) {
+		t.Fatalf("err = %v, want ErrSegmentOversize", err)
+	}
+	det := &countingDetector{trigger: -1}
+	if err := Replay(sp.Unsplit(), det); err != nil {
+		t.Fatalf("unsplit replay: %v", err)
+	}
+	if det.events != accesses {
+		t.Fatalf("unsplit replay saw %d accesses, want %d", det.events, accesses)
+	}
+	if _, err := sp.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after Unsplit = %v, want io.EOF", err)
+	}
+}
+
+// TestSplitterSingleSegment: without a cap, a boundary-free trace comes
+// back as exactly one segment equal in effect to the original.
+func TestSplitterSingleSegment(t *testing.T) {
+	data := synthTrace(t, 1000)
+	sp, err := NewSplitter(bytes.NewReader(data), SplitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Sequential() {
+		t.Fatal("sequential flag lost")
+	}
+	seg, err := sp.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &countingDetector{trigger: -1}
+	if err := Replay(bytes.NewReader(seg), det); err != nil {
+		t.Fatal(err)
+	}
+	if det.events != 1000 {
+		t.Fatalf("segment replay saw %d accesses, want 1000", det.events)
+	}
+	if _, err := sp.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("second Next = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// LimitedReader caps how many bytes may be read from an underlying
+// stream, failing with an ErrLimit-wrapped error — not a silent EOF —
+// when the cap is crossed. It replaces the http.MaxBytesReader +
+// io.ReadAll pair in spd3d: the decoder pulls bytes through it
+// incrementally, so an oversized body fails with the same typed
+// sentinel the resource limits use (HTTP 413) without ever being
+// buffered in full.
+//
+// Count is safe to call concurrently with Read; Read itself is not
+// concurrency-safe, matching every other io.Reader.
+type LimitedReader struct {
+	r     io.Reader
+	max   int64
+	count atomic.Int64
+	over  bool
+}
+
+// NewLimitedReader wraps r with an n-byte budget. A negative n means no
+// limit (the reader only counts).
+func NewLimitedReader(r io.Reader, n int64) *LimitedReader {
+	return &LimitedReader{r: r, max: n}
+}
+
+// Count reports how many bytes have been read so far.
+func (l *LimitedReader) Count() int64 { return l.count.Load() }
+
+// errOverLimit builds the ErrLimit-wrapped overflow error.
+func (l *LimitedReader) errOverLimit() error {
+	return fmt.Errorf("%w: input exceeds %d bytes", ErrLimit, l.max)
+}
+
+func (l *LimitedReader) Read(p []byte) (int, error) {
+	if l.over {
+		return 0, l.errOverLimit()
+	}
+	if l.max >= 0 {
+		if left := l.max - l.count.Load(); int64(len(p)) > left {
+			// Allow one probe byte past the budget: a stream that ends
+			// exactly at the cap must read its clean io.EOF, while one
+			// more real byte proves overflow.
+			p = p[:left+1]
+		}
+	}
+	n, err := l.r.Read(p)
+	total := l.count.Add(int64(n))
+	if l.max >= 0 && total > l.max {
+		l.over = true
+		return int(l.max - (total - int64(n))), l.errOverLimit()
+	}
+	return n, err
+}
+
+// cancelPollSlice bounds how long a CancelReader read can sit blocked
+// before re-checking the cancel channel. Without it a stalled upload
+// would keep a canceled analysis pinned until TCP gives up.
+const cancelPollSlice = 100 * time.Millisecond
+
+// CancelReader makes a blocking reader cancelable. Every Read first
+// polls the cancel channel; if a deadline setter is available (HTTP
+// request bodies via http.ResponseController), the read itself is
+// sliced into cancelPollSlice chunks so even a read that never returns
+// observes cancellation within one slice. Errors are wrapped with
+// ErrCanceled, which readErr passes through to replay's callers.
+type CancelReader struct {
+	r           io.Reader
+	cancel      <-chan struct{}
+	setDeadline func(time.Time) error
+	deadlines   bool
+}
+
+// NewCancelReader wraps r. cancel is typically ctx.Done().
+//
+// setDeadline must allow re-arming after an expired deadline (net.Conn
+// and net.Pipe do). Pass nil for streams without that property — an
+// net/http request body, whose read deadline is sticky once exceeded —
+// and arm one absolute deadline on the stream yourself so a read can
+// never outlive the request; the per-Read poll still catches
+// cancellation whenever bytes are flowing.
+func NewCancelReader(r io.Reader, cancel <-chan struct{}, setDeadline func(time.Time) error) *CancelReader {
+	c := &CancelReader{r: r, cancel: cancel, setDeadline: setDeadline}
+	if setDeadline != nil {
+		// Probe once: servers that don't support deadlines report it on
+		// the first call and we fall back to poll-per-Read.
+		if err := setDeadline(time.Now().Add(time.Hour)); err == nil {
+			c.deadlines = true
+		}
+	}
+	return c
+}
+
+func (c *CancelReader) errCanceled() error {
+	return fmt.Errorf("%w: request canceled while reading", ErrCanceled)
+}
+
+func (c *CancelReader) Read(p []byte) (int, error) {
+	select {
+	case <-c.cancel:
+		return 0, c.errCanceled()
+	default:
+	}
+	if !c.deadlines {
+		return c.r.Read(p)
+	}
+	for {
+		if err := c.setDeadline(time.Now().Add(cancelPollSlice)); err != nil {
+			// Deadline support vanished (e.g. hijacked connection):
+			// degrade to plain blocking reads.
+			c.deadlines = false
+			return c.r.Read(p)
+		}
+		n, err := c.r.Read(p)
+		if n > 0 || err == nil {
+			return n, err
+		}
+		if os.IsTimeout(err) {
+			select {
+			case <-c.cancel:
+				return 0, c.errCanceled()
+			default:
+				continue // slice expired with no data: re-arm and retry
+			}
+		}
+		return n, err
+	}
+}

@@ -25,7 +25,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 	"sync"
 
@@ -225,285 +224,6 @@ func (s *recShadow) Write(t *detect.Task, i int) {
 
 var _ detect.Detector = (*Recorder)(nil)
 
-// Limits bounds the resources a replayed trace may make the target
-// detector allocate. A trace declares its shadow regions up front, so a
-// hostile 30-byte file could otherwise demand gigabytes of shadow words.
-type Limits struct {
-	// MaxRegionElems caps one region's element count.
-	MaxRegionElems int64
-	// MaxTotalElems caps the sum over all regions.
-	MaxTotalElems int64
-	// Cancel, when non-nil, aborts the replay with ErrCanceled once the
-	// channel is closed. The check runs every cancelCheckEvery events,
-	// so a long replay stops within microseconds of cancellation while
-	// the common case pays one counter decrement per event. Wire a
-	// request context in with ctx.Done().
-	Cancel <-chan struct{}
-}
-
-// DefaultLimits allows regions up to 64M elements and 128M elements in
-// total — comfortably above the full-scale benchmark suite.
-func DefaultLimits() Limits {
-	return Limits{MaxRegionElems: 1 << 26, MaxTotalElems: 1 << 27}
-}
-
-// Replay feeds a recorded trace into det with DefaultLimits and returns
-// an error on a malformed trace or an illegal pairing (sequential-only
-// detector on a parallel trace).
-func Replay(rd io.Reader, det detect.Detector) error {
-	return ReplayWithLimits(rd, det, DefaultLimits())
-}
-
-// cancelCheckEvery is how many events replay processes between polls of
-// Limits.Cancel. The first event always polls, so an already-expired
-// deadline aborts before any detector work happens.
-const cancelCheckEvery = 4096
-
-// ReplayWithLimits is Replay with explicit resource bounds.
-func ReplayWithLimits(rd io.Reader, det detect.Detector, lim Limits) error {
-	br := bufio.NewReader(rd)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return fmt.Errorf("trace: %w: %d-byte input", ErrBadMagic, len(head))
-		}
-		return fmt.Errorf("trace: reading header: %w", err)
-	}
-	if string(head) != magic {
-		return fmt.Errorf("trace: %w: header %q", ErrBadMagic, head)
-	}
-	seqByte, err := br.ReadByte()
-	if err != nil {
-		return fmt.Errorf("trace: %w: missing executor byte", ErrTruncated)
-	}
-	if det.RequiresSequential() && seqByte != 1 {
-		return fmt.Errorf("trace: %w: detector %q needs a depth-first trace; this one was recorded in parallel", ErrSequentialOnly, det.Name())
-	}
-
-	st := &replayState{
-		det:      det,
-		lim:      lim,
-		tasks:    map[int64]*detect.Task{},
-		finishes: map[int64]*detect.Finish{},
-		locks:    map[int64]*detect.Lock{},
-	}
-	countdown := 1 // poll Cancel on the very first event
-	for {
-		if lim.Cancel != nil {
-			if countdown--; countdown <= 0 {
-				countdown = cancelCheckEvery
-				select {
-				case <-lim.Cancel:
-					return fmt.Errorf("trace: %w", ErrCanceled)
-				default:
-				}
-			}
-		}
-		kind, err := br.ReadByte()
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("trace: %w: %v", ErrTruncated, err)
-		}
-		if err := st.apply(br, kind); err != nil {
-			return err
-		}
-	}
-}
-
-type replayState struct {
-	det      detect.Detector
-	lim      Limits
-	tasks    map[int64]*detect.Task
-	finishes map[int64]*detect.Finish
-	locks    map[int64]*detect.Lock
-	shadows  []detect.Shadow
-	sizes    []int64
-	total    int64
-}
-
-// Fixed sanity limits independent of Limits.
-const (
-	maxElemBytes = 1 << 20
-	maxNameLen   = 1 << 16
-)
-
-// regionName reads a length-prefixed region name off the stream.
-func (st *replayState) regionName(br *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(br)
-	if err != nil {
-		return "", fmt.Errorf("trace: %w: region name length: %v", ErrTruncated, err)
-	}
-	if n > maxNameLen {
-		return "", fmt.Errorf("trace: %w: region name of %d bytes", ErrMalformed, n)
-	}
-	name := make([]byte, n)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return "", fmt.Errorf("trace: %w: region name: %v", ErrTruncated, err)
-	}
-	return string(name), nil
-}
-
-func (st *replayState) apply(br *bufio.Reader, kind byte) error {
-	args := func(n int) ([]int64, error) {
-		out := make([]int64, n)
-		for i := range out {
-			v, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: %w: event %d: %v", ErrTruncated, kind, err)
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	switch kind {
-	case evMainTask:
-		a, err := args(2)
-		if err != nil {
-			return err
-		}
-		t := &detect.Task{ID: detect.TaskID(a[0])}
-		f := &detect.Finish{ID: a[1], Owner: t}
-		t.IEF = f
-		st.tasks[a[0]] = t
-		st.finishes[a[1]] = f
-		st.det.MainTask(t, f)
-	case evSpawn:
-		a, err := args(3)
-		if err != nil {
-			return err
-		}
-		parent, ok := st.tasks[a[0]]
-		if !ok {
-			return fmt.Errorf("trace: %w: spawn from unknown task %d", ErrMalformed, a[0])
-		}
-		ief, ok := st.finishes[a[2]]
-		if !ok {
-			return fmt.Errorf("trace: %w: spawn into unknown finish %d", ErrMalformed, a[2])
-		}
-		child := &detect.Task{ID: detect.TaskID(a[1]), Parent: parent, IEF: ief, Depth: parent.Depth + 1}
-		st.tasks[a[1]] = child
-		st.det.BeforeSpawn(parent, child)
-	case evTaskEnd:
-		a, err := args(1)
-		if err != nil {
-			return err
-		}
-		t, ok := st.tasks[a[0]]
-		if !ok {
-			return fmt.Errorf("trace: %w: end of unknown task %d", ErrMalformed, a[0])
-		}
-		st.det.TaskEnd(t)
-	case evFinishStart:
-		a, err := args(2)
-		if err != nil {
-			return err
-		}
-		t, ok := st.tasks[a[0]]
-		if !ok {
-			return fmt.Errorf("trace: %w: finish in unknown task %d", ErrMalformed, a[0])
-		}
-		f := &detect.Finish{ID: a[1], Owner: t}
-		st.finishes[a[1]] = f
-		st.det.FinishStart(t, f)
-	case evFinishEnd:
-		a, err := args(2)
-		if err != nil {
-			return err
-		}
-		t, f := st.tasks[a[0]], st.finishes[a[1]]
-		if t == nil || f == nil {
-			return fmt.Errorf("trace: %w: finish-end with unknown task %d or finish %d", ErrMalformed, a[0], a[1])
-		}
-		st.det.FinishEnd(t, f)
-	case evAcquire, evRelease:
-		a, err := args(2)
-		if err != nil {
-			return err
-		}
-		t := st.tasks[a[0]]
-		if t == nil {
-			return fmt.Errorf("trace: %w: lock op in unknown task %d", ErrMalformed, a[0])
-		}
-		l := st.locks[a[1]]
-		if l == nil {
-			l = &detect.Lock{ID: a[1]}
-			st.locks[a[1]] = l
-		}
-		if kind == evAcquire {
-			st.det.Acquire(t, l)
-		} else {
-			st.det.Release(t, l)
-		}
-	case evNewShadow:
-		a, err := args(3)
-		if err != nil {
-			return err
-		}
-		if a[1] < 0 || a[1] > st.lim.MaxRegionElems {
-			return fmt.Errorf("trace: %w: region size %d out of range", ErrLimit, a[1])
-		}
-		if st.total += a[1]; st.total > st.lim.MaxTotalElems {
-			return fmt.Errorf("trace: %w: total region size exceeds limit of %d elements", ErrLimit, st.lim.MaxTotalElems)
-		}
-		if a[2] < 0 || a[2] > maxElemBytes {
-			return fmt.Errorf("trace: %w: element size %d out of range", ErrMalformed, a[2])
-		}
-		name, err := st.regionName(br)
-		if err != nil {
-			return err
-		}
-		if int(a[0]) != len(st.shadows) {
-			return fmt.Errorf("trace: %w: region %d out of order", ErrMalformed, a[0])
-		}
-		st.shadows = append(st.shadows, st.det.NewShadow(detect.Spec(name, int(a[1]), int(a[2]))))
-		st.sizes = append(st.sizes, a[1])
-	case evNewShadowGrow:
-		a, err := args(2)
-		if err != nil {
-			return err
-		}
-		if a[1] < 0 || a[1] > maxElemBytes {
-			return fmt.Errorf("trace: %w: element size %d out of range", ErrMalformed, a[1])
-		}
-		name, err := st.regionName(br)
-		if err != nil {
-			return err
-		}
-		if int(a[0]) != len(st.shadows) {
-			return fmt.Errorf("trace: %w: region %d out of order", ErrMalformed, a[0])
-		}
-		st.shadows = append(st.shadows, st.det.NewShadow(detect.GrowableSpec(name, int(a[1]))))
-		// Growable: no declared size. Indices are still bounded by
-		// MaxRegionElems so a hostile trace cannot force huge pages.
-		st.sizes = append(st.sizes, -1)
-	case evRead, evWrite:
-		a, err := args(3)
-		if err != nil {
-			return err
-		}
-		if a[0] < 0 || int(a[0]) >= len(st.shadows) {
-			return fmt.Errorf("trace: %w: access to unknown region %d", ErrMalformed, a[0])
-		}
-		bound := st.sizes[a[0]]
-		if bound < 0 {
-			bound = st.lim.MaxRegionElems
-		}
-		if a[2] < 0 || a[2] >= bound {
-			return fmt.Errorf("trace: %w: access index %d outside region of %d elements", ErrMalformed, a[2], bound)
-		}
-		t := st.tasks[a[1]]
-		if t == nil {
-			return fmt.Errorf("trace: %w: access by unknown task %d", ErrMalformed, a[1])
-		}
-		if kind == evRead {
-			st.shadows[a[0]].Read(t, int(a[2]))
-		} else {
-			st.shadows[a[0]].Write(t, int(a[2]))
-		}
-	default:
-		return fmt.Errorf("trace: %w: unknown event kind %d", ErrMalformed, kind)
-	}
-	return nil
-}
+// Replay, the decoder, the finish-scope splitter, and the trace
+// amplifier live in replay.go, split.go, and amplify.go; the streaming
+// reader adapters (LimitedReader, CancelReader) live in stream.go.
