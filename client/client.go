@@ -1,0 +1,487 @@
+// Package client is the typed Go client for a running spd3d daemon —
+// the public successor to the helpers that used to live in
+// internal/server. It speaks both API generations: the synchronous
+// /v1/analyze call, and the /v2 async job API (SubmitJob → WaitJob →
+// Result, with StreamEvents for live race findings over SSE).
+//
+// The package is deliberately free of internal imports: every wire
+// type is declared here from the daemon's stable JSON contract, so
+// external tooling can depend on it without reaching into internal/.
+// Daemon stats arrive as the expvar-style counters map (see
+// StatsSnapshot), keyed by the namespaced counter names documented in
+// the README (cas.*, dmhp.*, srv.*, job.*, store.*, quota.*, ...).
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one spd3d daemon. The zero value is not usable;
+// construct with New.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7331".
+	BaseURL string
+	// HTTPClient is the underlying transport; New installs a default
+	// with a generous overall timeout. Streaming calls (StreamEvents)
+	// and long waits (WaitJob) strip the client timeout and rely on the
+	// caller's context instead.
+	HTTPClient *http.Client
+	// Tenant, when set, is sent as the X-SPD3-Tenant header on every
+	// request, scoping jobs and quotas to that tenant.
+	Tenant string
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// APIError is a non-2xx daemon response, decoded from its JSON error
+// envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the daemon's error text.
+	Message string
+	// RetryAfter is the daemon's suggested backoff on a 429 quota
+	// rejection (zero when the daemon sent none).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("spd3d: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Saturated reports whether the request was shed by admission control
+// or quota (429 or 503 draining) — the retryable class a load
+// generator counts separately from hard failures.
+func (e *APIError) Saturated() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// ---- wire types (the daemon's stable JSON contract) ----
+
+// Race is one reported race.
+type Race struct {
+	Kind   string `json:"kind"`
+	Region string `json:"region"`
+	Index  int    `json:"index"`
+	Prev   string `json:"prev"`
+	Cur    string `json:"cur"`
+}
+
+// StatsSnapshot is the daemon's observability snapshot in wire form:
+// the namespaced counters map plus histograms, per-region traffic, and
+// the detector footprint. Counter keys are stable wire names like
+// "srv.analyses", "job.submitted", "store.put_bytes".
+type StatsSnapshot struct {
+	Counters   map[string]int64   `json:"counters"`
+	Histograms map[string][]int64 `json:"histograms"`
+	Regions    []RegionStats      `json:"regions"`
+	Footprint  Footprint          `json:"footprint"`
+}
+
+// Get returns one counter by wire name (0 when absent).
+func (s *StatsSnapshot) Get(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// RegionStats is one region's merged traffic.
+type RegionStats struct {
+	Name   string `json:"name"`
+	Elems  int    `json:"elems"`
+	Reads  int64  `json:"reads"`
+	Writes int64  `json:"writes"`
+}
+
+// Footprint is a detector's analytic memory accounting.
+type Footprint struct {
+	ShadowBytes int64 `json:"shadow_bytes"`
+	TreeBytes   int64 `json:"tree_bytes"`
+	ClockBytes  int64 `json:"clock_bytes"`
+	SetBytes    int64 `json:"set_bytes"`
+}
+
+// Verdict is one detector's result on one trace.
+type Verdict struct {
+	Detector   string         `json:"detector"`
+	Racy       bool           `json:"racy"`
+	RaceCount  int            `json:"race_count"`
+	Races      []Race         `json:"races"`
+	Capped     bool           `json:"capped,omitempty"`
+	DurationMS float64        `json:"duration_ms"`
+	Stats      *StatsSnapshot `json:"stats,omitempty"`
+}
+
+// Report is the merged analysis envelope: the /v1/analyze response and
+// the /v2 job result.
+type Report struct {
+	Tool       string    `json:"tool"`
+	Version    string    `json:"version"`
+	Detector   string    `json:"detector"`
+	Sequential bool      `json:"sequential"`
+	TraceBytes int64     `json:"trace_bytes"`
+	Verdicts   []Verdict `json:"verdicts"`
+	Sharded    bool      `json:"sharded,omitempty"`
+	Segments   int       `json:"segments,omitempty"`
+	Agree      *bool     `json:"agree,omitempty"`
+}
+
+// Detector describes one registry entry from /v1/detectors.
+type Detector struct {
+	Name       string `json:"name"`
+	Sequential bool   `json:"sequential"`
+}
+
+// Statsz is the /statsz response.
+type Statsz struct {
+	Tool           string        `json:"tool"`
+	Version        string        `json:"version"`
+	UptimeSeconds  float64       `json:"uptime_seconds"`
+	InFlight       int           `json:"in_flight"`
+	MaxInFlight    int           `json:"max_in_flight"`
+	Draining       bool          `json:"draining"`
+	ShardWorkers   int           `json:"shard_workers"`
+	ShardBusy      int           `json:"shard_busy"`
+	JobsQueued     int           `json:"jobs_queued"`
+	JobsRunning    int           `json:"jobs_running"`
+	JobsTotal      int           `json:"jobs_total"`
+	StoreBlobs     int           `json:"store_blobs"`
+	StoreBytes     int64         `json:"store_bytes"`
+	HeapAllocBytes uint64        `json:"heap_alloc_bytes"`
+	SysBytes       uint64        `json:"sys_bytes"`
+	PeakHeapBytes  uint64        `json:"peak_heap_bytes"`
+	PeakRSSBytes   int64         `json:"peak_rss_bytes"`
+	Stats          StatsSnapshot `json:"stats"`
+}
+
+// DetectorProgress is one detector's live progress inside a job.
+type DetectorProgress struct {
+	Detector     string `json:"detector"`
+	SegmentsDone int    `json:"segments_done"`
+	RaceCount    int    `json:"race_count"`
+}
+
+// Job states, as carried in JobStatus.State.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Terminal reports whether state is one a job never leaves.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobStatus is the machine-readable job state from GET /v2/jobs/{id}
+// and the 202 body of POST /v2/jobs.
+type JobStatus struct {
+	Tool        string             `json:"tool"`
+	Version     string             `json:"version"`
+	ID          string             `json:"job_id"`
+	Tenant      string             `json:"tenant"`
+	Detector    string             `json:"detector"`
+	Sequential  bool               `json:"sequential"`
+	State       string             `json:"state"`
+	TraceBytes  int64              `json:"trace_bytes"`
+	StoredBytes int64              `json:"stored_bytes"`
+	Segments    int                `json:"segments"`
+	Sharded     bool               `json:"sharded"`
+	Unsplit     bool               `json:"unsplit,omitempty"`
+	Progress    []DetectorProgress `json:"progress,omitempty"`
+	RaceCount   int                `json:"race_count"`
+	Error       string             `json:"error,omitempty"`
+	CreatedAt   time.Time          `json:"created_at"`
+	UpdatedAt   time.Time          `json:"updated_at"`
+}
+
+// Event is one frame from a job's SSE stream: Name is "race", "state",
+// or "done"; the payload fields are filled according to Name.
+type Event struct {
+	// Name is the SSE event name.
+	Name string
+	// Detector and Race are set on "race" events.
+	Detector string `json:"detector"`
+	Race     *Race  `json:"race"`
+	// State is set on "state" and "done" events.
+	State string `json:"state"`
+	// RaceCount and Error are set on "done" events.
+	RaceCount int    `json:"race_count"`
+	Error     string `json:"error"`
+}
+
+// errorReport is the daemon's JSON error body.
+type errorReport struct {
+	Error string `json:"error"`
+}
+
+// do issues the request and decodes the response into out, converting
+// non-2xx statuses into *APIError. want is the expected success status.
+func (c *Client) do(req *http.Request, want int, out any) error {
+	if c.Tenant != "" {
+		req.Header.Set("X-SPD3-Tenant", c.Tenant)
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("spd3d: reading response: %w", err)
+	}
+	if resp.StatusCode != want {
+		apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+		var er errorReport
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if d, perr := time.ParseDuration(ra + "s"); perr == nil {
+				apiErr.RetryAfter = d
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("spd3d: decoding response: %w", err)
+	}
+	return nil
+}
+
+// ---- /v1 + shared endpoints ----
+
+// Analyze POSTs a recorded trace to the synchronous /v1/analyze
+// endpoint and returns the race report. detector is a registry name,
+// or "all" for differential mode; "" selects the daemon default
+// (spd3). For large traces prefer SubmitJob, which does not hold the
+// connection for the whole replay.
+func (c *Client) Analyze(ctx context.Context, detector string, tr io.Reader) (*Report, error) {
+	url := c.BaseURL + "/v1/analyze"
+	if detector != "" {
+		url += "?detector=" + detector
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, tr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var rep Report
+	if err := c.do(req, http.StatusOK, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Detectors returns the daemon's registry listing.
+func (c *Client) Detectors(ctx context.Context) ([]Detector, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/detectors", nil)
+	if err != nil {
+		return nil, err
+	}
+	var list struct {
+		Detectors []Detector `json:"detectors"`
+	}
+	if err := c.do(req, http.StatusOK, &list); err != nil {
+		return nil, err
+	}
+	return list.Detectors, nil
+}
+
+// Health checks /healthz; nil means the daemon is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusOK, nil)
+}
+
+// Stats returns the daemon's /statsz snapshot.
+func (c *Client) Stats(ctx context.Context) (*Statsz, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/statsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st Statsz
+	if err := c.do(req, http.StatusOK, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ---- /v2 job API ----
+
+// SubmitJob streams a recorded trace to POST /v2/jobs and returns the
+// accepted job's status (state "queued"). The upload is the only
+// synchronous part; pair with WaitJob/Result to collect the analysis.
+func (c *Client) SubmitJob(ctx context.Context, detector string, tr io.Reader) (*JobStatus, error) {
+	url := c.BaseURL + "/v2/jobs"
+	if detector != "" {
+		url += "?detector=" + detector
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, tr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var st JobStatus
+	if err := c.do(req, http.StatusAccepted, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// GetJob returns one job's current status.
+func (c *Client) GetJob(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := c.do(req, http.StatusOK, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state (done, failed,
+// or canceled) or ctx expires, backing off from 10ms to 1s between
+// polls. It returns the terminal status; inspect State to distinguish
+// success from failure.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	delay := 10 * time.Millisecond
+	for {
+		st, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// Result fetches a finished job's merged report. A job that failed or
+// was canceled surfaces as *APIError with the daemon's recorded status;
+// a job still running surfaces as *APIError with status 202.
+func (c *Client) Result(ctx context.Context, id string) (*Report, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := c.do(req, http.StatusOK, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// CancelJob cancels a queued or running job (DELETE on a live job).
+// The replay stops at its next cancellation poll; the job lands in
+// state "canceled".
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusAccepted, nil)
+}
+
+// DeleteJob deletes a finished job: its manifest and quota charge are
+// released immediately, its segments on the next GC sweep.
+func (c *Client) DeleteJob(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusNoContent, nil)
+}
+
+// StreamEvents subscribes to a job's SSE stream and delivers each
+// event to fn: races as they are found, state transitions, and a final
+// "done" event after which the stream ends and StreamEvents returns
+// nil. fn returning false detaches early. The call blocks until the
+// stream ends, fn detaches, or ctx is canceled; it uses a transport
+// without the client's overall timeout, since a healthy stream can
+// legitimately outlive it.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-SPD3-Tenant", c.Tenant)
+	}
+	hc := &http.Client{Transport: c.HTTPClient.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+		var er errorReport
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+		}
+		return apiErr
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev = Event{Name: strings.TrimPrefix(line, "event: ")}
+		case strings.HasPrefix(line, "data: "):
+			json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) //nolint:errcheck // unknown fields are simply absent
+		case line == "":
+			if ev.Name == "" {
+				continue
+			}
+			done := ev.Name == "done"
+			if !fn(ev) {
+				return nil
+			}
+			if done {
+				return nil
+			}
+			ev = Event{}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -10,6 +10,20 @@
 //	curl -fsS http://127.0.0.1:7331/v1/detectors
 //	curl -fsS http://127.0.0.1:7331/statsz
 //
+// The async /v2 job API spills uploads into a content-addressed trace
+// store and replays them in the background:
+//
+//	curl -fsS --data-binary @sor.trc 'http://127.0.0.1:7331/v2/jobs?detector=all'
+//	curl -fsS http://127.0.0.1:7331/v2/jobs/<job_id>
+//	curl -fsS http://127.0.0.1:7331/v2/jobs/<job_id>/result
+//
+// -store names the store directory (empty = a throwaway temp dir);
+// pointing a restarted daemon at the same -store resumes interrupted
+// jobs. -store-ttl and -gc-interval control how long finished jobs and
+// their segments linger. The -tenant-* flags bound each tenant (keyed
+// by the X-SPD3-Tenant header) independently: queued jobs, stored
+// bytes, concurrent shard slots, and submitted byte rate.
+//
 // The daemon bounds concurrent analyses (-inflight, 429 beyond it), caps
 // upload size (-max-body, 413), enforces a per-request analysis deadline
 // that cancels the running replay (-timeout, 504), and drains in-flight
@@ -50,6 +64,14 @@ func main() {
 		segMinKB     = flag.Int("segment-min-kb", 256, "coalesce finish-scope segments smaller than this many KiB")
 		segMaxMB     = flag.Int("segment-max-mb", 32, "fall back to single-stream analysis when one finish scope exceeds this many MiB")
 		quiet        = flag.Bool("quiet", false, "suppress per-analysis log lines")
+
+		storeDir      = flag.String("store", "", "trace store directory for /v2 jobs (empty = throwaway temp dir; reuse a path to resume jobs across restarts)")
+		storeTTL      = flag.Duration("store-ttl", time.Hour, "keep finished jobs and their segments this long (negative = forever)")
+		gcInterval    = flag.Duration("gc-interval", 5*time.Minute, "store garbage-collection period (0 disables background GC)")
+		tenantQueue   = flag.Int("tenant-queue", 0, "max queued+running jobs per tenant (0 = default 64, negative disables)")
+		tenantStoreMB = flag.Int64("tenant-store-mb", 0, "max stored trace bytes per tenant in MiB (0 = default 4096, negative disables)")
+		tenantShards  = flag.Int("tenant-shards", 0, "max shard-pool slots one tenant may hold (0 = pool size, negative disables)")
+		tenantRateMB  = flag.Int64("tenant-rate-mb", 0, "per-tenant submitted-bytes rate limit in MiB/s (0 disables)")
 	)
 	flag.Parse()
 
@@ -58,7 +80,11 @@ func main() {
 	if *quiet {
 		srvLog = nil
 	}
-	srv := server.New(server.Config{
+	tenantStore := *tenantStoreMB
+	if tenantStore > 0 {
+		tenantStore <<= 20
+	}
+	srv, err := server.Open(server.Config{
 		MaxInFlight:       *inflight,
 		MaxBodyBytes:      *maxBodyMB << 20,
 		RequestTimeout:    *timeout,
@@ -66,8 +92,21 @@ func main() {
 		ShardWorkers:      *shardWorkers,
 		MinSegmentBytes:   *segMinKB << 10,
 		MaxSegmentBytes:   *segMaxMB << 20,
-		Log:               srvLog,
+		StoreDir:          *storeDir,
+		StoreTTL:          *storeTTL,
+		GCInterval:        *gcInterval,
+		Quota: server.QuotaConfig{
+			MaxQueuedJobs:   *tenantQueue,
+			MaxStoredBytes:  tenantStore,
+			TenantShards:    *tenantShards,
+			RateBytesPerSec: *tenantRateMB << 20,
+		},
+		Log: srvLog,
 	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

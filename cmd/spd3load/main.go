@@ -10,6 +10,7 @@
 //	spd3load -addr http://127.0.0.1:7331 -bench SOR -size 0.2 -c 8 -n 200
 //	spd3load -addr http://127.0.0.1:7331 -racy RacyMonteCarlo -detector all -d 10s
 //	spd3load -addr http://127.0.0.1:7331 -racy RacyMonteCarlo -scale 64 -c 2 -n 8
+//	spd3load -addr http://127.0.0.1:7331 -racy RacyMonteCarlo -async -tenant ci -digest
 //
 // -scale N streams an N×-amplified trace per request without ever
 // materializing it client-side (trace.Amplifier synthesizes the bytes on
@@ -17,6 +18,14 @@
 // after the run spd3load reads /statsz and reports the daemon's peak
 // heap, peak RSS, and how many bytes and finish-scope segments it
 // streamed through the sharded analyze path.
+//
+// -async drives the /v2 job API instead of the synchronous /v1 endpoint:
+// each request submits a job, polls it to a terminal state, and fetches
+// the result envelope, so the measured latency covers the full
+// submit→done lifecycle. -tenant scopes the jobs (and the daemon's
+// quotas) to a named tenant. -digest prints a stable SHA-256 over the
+// run's deduplicated race set, which is how CI compares the v1 and v2
+// paths on the same trace: same digest, same races.
 //
 // Rejections from the daemon's admission control (429 saturated / 503
 // draining) are counted separately from hard failures: saturating the
@@ -26,19 +35,20 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"spd3/client"
 	"spd3/internal/bench"
 	_ "spd3/internal/detectors" // populate the detector registry (recording needs none, listing does)
-	"spd3/internal/server"
-	"spd3/internal/stats"
 	"spd3/internal/task"
 	"spd3/internal/trace"
 )
@@ -57,6 +67,9 @@ func main() {
 		conc     = flag.Int("c", 8, "concurrent connections")
 		total    = flag.Int("n", 100, "total requests (ignored when -d is set)")
 		duration = flag.Duration("d", 0, "run for this long instead of a fixed request count")
+		async    = flag.Bool("async", false, "drive the /v2 job API (submit, poll to done, fetch result) instead of /v1/analyze")
+		tenant   = flag.String("tenant", "", "X-SPD3-Tenant header: scope jobs and quotas to this tenant")
+		digest   = flag.Bool("digest", false, "print a SHA-256 over the run's deduplicated race set (CI differential oracle)")
 	)
 	flag.Parse()
 
@@ -83,24 +96,28 @@ func main() {
 		fmt.Printf("trace     : %s (%d bytes, sequential=%v)\n", label, len(data), *seq)
 	}
 
-	client := server.NewClient(*addr)
+	cl := client.New(*addr)
+	cl.Tenant = *tenant
 	ctx := context.Background()
-	if err := client.Health(ctx); err != nil {
+	if err := cl.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "spd3load: daemon at %s not healthy: %v\n", *addr, err)
 		os.Exit(1)
 	}
-	before, err := client.Stats(ctx)
+	before, err := cl.Stats(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spd3load: reading /statsz: %v\n", err)
 		os.Exit(1)
 	}
 
-	res := run(ctx, client, *detector, data, *scale, *conc, *total, *duration)
+	res := run(ctx, cl, *detector, data, *scale, *conc, *total, *duration, *async)
 	fmt.Print(res.summary(*detector, wireBytes))
+	if *digest {
+		fmt.Printf("digest    : %s\n", res.raceDigest())
+	}
 	// The daemon's peak gauges are monotonic, so one post-run read sees
 	// the run's high-water mark; the counter deltas isolate this run
 	// from whatever the daemon served before.
-	if after, err := client.Stats(ctx); err == nil {
+	if after, err := cl.Stats(ctx); err == nil {
 		fmt.Print(daemonSummary(before, after))
 	} else {
 		fmt.Fprintf(os.Stderr, "spd3load: reading /statsz after run: %v\n", err)
@@ -114,16 +131,21 @@ func main() {
 // through the analyze path, finish-scope segments sharded, and the
 // daemon's memory high-water marks — the numbers that substantiate the
 // flat-ceiling claim when -scale pushes traces far past daemon RAM.
-func daemonSummary(before, after *server.Statsz) string {
+func daemonSummary(before, after *client.Statsz) string {
 	var b bytes.Buffer
-	streamed := after.Stats.Get(stats.SrvStreamedBytes) - before.Stats.Get(stats.SrvStreamedBytes)
-	segments := after.Stats.Get(stats.TraceSegments) - before.Stats.Get(stats.TraceSegments)
-	unsplit := after.Stats.Get(stats.SrvUnsplit) - before.Stats.Get(stats.SrvUnsplit)
+	streamed := after.Stats.Get("srv.streamed_bytes") - before.Stats.Get("srv.streamed_bytes")
+	segments := after.Stats.Get("trace.segments") - before.Stats.Get("trace.segments")
+	unsplit := after.Stats.Get("srv.unsplit") - before.Stats.Get("srv.unsplit")
 	fmt.Fprintf(&b, "daemon    : %.2f MB streamed, %d segments", float64(streamed)/(1<<20), segments)
 	if unsplit > 0 {
 		fmt.Fprintf(&b, " (%d unsplit fallbacks)", unsplit)
 	}
 	fmt.Fprintf(&b, ", %d shard workers\n", after.ShardWorkers)
+	if stored := after.Stats.Get("store.put_bytes") - before.Stats.Get("store.put_bytes"); stored > 0 {
+		dedup := after.Stats.Get("store.dedup_hits") - before.Stats.Get("store.dedup_hits")
+		fmt.Fprintf(&b, "store     : %.2f MB written, %d dedup hits, %d blobs / %.2f MB resident\n",
+			float64(stored)/(1<<20), dedup, after.StoreBlobs, float64(after.StoreBytes)/(1<<20))
+	}
 	fmt.Fprintf(&b, "daemon mem: peak heap %.1f MiB", float64(after.PeakHeapBytes)/(1<<20))
 	if after.PeakRSSBytes > 0 {
 		fmt.Fprintf(&b, ", peak RSS %.1f MiB", float64(after.PeakRSSBytes)/(1<<20))
@@ -180,15 +202,73 @@ func recordTrace(name, racy string, scale float64, chunked, seq bool, workers in
 type result struct {
 	ok, rejected, failed int
 	racy                 bool
-	latencies            []time.Duration // successful requests only
+	races                map[string]struct{} // deduplicated across every successful report
+	latencies            []time.Duration     // successful requests only
 	elapsed              time.Duration
 	firstErr             error
+}
+
+// recordReport folds one successful report into the run's aggregates.
+func (r *result) recordReport(rep *client.Report) {
+	for _, v := range rep.Verdicts {
+		r.racy = r.racy || v.Racy
+		for _, rc := range v.Races {
+			if r.races == nil {
+				r.races = make(map[string]struct{})
+			}
+			r.races[fmt.Sprintf("%s/%s/%s/%d", v.Detector, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+		}
+	}
+}
+
+// raceDigest returns a SHA-256 over the sorted, deduplicated race set —
+// stable across request ordering and across the v1/v2 paths, so CI can
+// diff the two APIs on the same trace by comparing digests.
+func (r *result) raceDigest() string {
+	keys := make([]string, 0, len(r.races))
+	for k := range r.races {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// analyzeOnce issues one request through the selected API generation and
+// returns the report. The async path is submit → poll → result, so its
+// latency covers the whole job lifecycle.
+func analyzeOnce(ctx context.Context, cl *client.Client, detector string, body io.Reader, async bool) (*client.Report, error) {
+	if !async {
+		return cl.Analyze(ctx, detector, body)
+	}
+	st, err := cl.SubmitJob(ctx, detector, body)
+	if err != nil {
+		return nil, err
+	}
+	fin, err := cl.WaitJob(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if fin.State != client.StateDone {
+		return nil, fmt.Errorf("job %s ended %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	rep, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	// Finished jobs are kept for polling until TTL; a load run has no
+	// further use for them, so free the tenant's quota eagerly.
+	cl.DeleteJob(ctx, st.ID) //nolint:errcheck // best-effort cleanup
+	return rep, nil
 }
 
 // run hammers the daemon with conc connections until total requests have
 // been issued (or d has elapsed, when d > 0). When scale > 1 each
 // request streams a fresh scale×-amplified trace straight onto the wire.
-func run(ctx context.Context, client *server.Client, detector string, data []byte, scale, conc, total int, d time.Duration) *result {
+func run(ctx context.Context, cl *client.Client, detector string, data []byte, scale, conc, total int, d time.Duration, async bool) *result {
 	var (
 		issued   atomic.Int64
 		deadline time.Time
@@ -229,17 +309,15 @@ func run(ctx context.Context, client *server.Client, detector string, data []byt
 					body = amp
 				}
 				t0 := time.Now()
-				rep, err := client.Analyze(ctx, detector, body)
+				rep, err := analyzeOnce(ctx, cl, detector, body, async)
 				lat := time.Since(t0)
 				switch {
 				case err == nil:
 					r.ok++
 					r.latencies = append(r.latencies, lat)
-					if len(rep.Verdicts) > 0 {
-						r.racy = r.racy || rep.Verdicts[0].Racy
-					}
+					r.recordReport(rep)
 				default:
-					var apiErr *server.APIError
+					var apiErr *client.APIError
 					if errors.As(err, &apiErr) && apiErr.Saturated() {
 						r.rejected++
 					} else {
@@ -262,6 +340,12 @@ func run(ctx context.Context, client *server.Client, detector string, data []byt
 		out.failed += r.failed
 		out.racy = out.racy || r.racy
 		out.latencies = append(out.latencies, r.latencies...)
+		for k := range r.races {
+			if out.races == nil {
+				out.races = make(map[string]struct{})
+			}
+			out.races[k] = struct{}{}
+		}
 		if out.firstErr == nil {
 			out.firstErr = r.firstErr
 		}

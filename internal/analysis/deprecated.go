@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // DeprecatedAnalyzer flags uses of retired spd3 API and carries the
@@ -10,18 +11,27 @@ import (
 //   - Array.Raw / Matrix.Raw   → Unchecked
 //   - Matrix.Row               → UncheckedRow
 //   - Report.Footprint         → Report.Stats.Footprint
+//   - server.NewClient         → client.New      (import spd3/client)
+//   - server.Client            → client.Client
+//   - server.APIError          → client.APIError
 //
-// The old names have been removed from the module, so in-tree code can
-// no longer compile against them; the analyzer exists for out-of-tree
-// users migrating across releases. It intentionally works from the
-// *receiver's* type rather than the (now nonexistent) member: when a
-// program written against the old API is loaded, the selection itself
-// fails to type-check, but the receiver still resolves, which is enough
-// to identify the container or report and rewrite the selector.
+// The member names have been removed from the module, so in-tree code
+// can no longer compile against them; the analyzer exists for
+// out-of-tree users migrating across releases. It intentionally works
+// from the *receiver's* type rather than the (now nonexistent) member:
+// when a program written against the old API is loaded, the selection
+// itself fails to type-check, but the receiver still resolves, which is
+// enough to identify the container or report and rewrite the selector.
+//
+// The server.* rules are different: those names survive as deprecated
+// aliases of the public spd3/client package, so old code still
+// compiles. The analyzer rewrites the whole qualified identifier to the
+// new package (the fix does not edit the import block; run goimports or
+// add `import "spd3/client"` after applying it).
 var DeprecatedAnalyzer = &Analyzer{
 	Name: "deprecated",
-	Doc: "report retired spd3 API (Raw, Row, Report.Footprint) and suggest " +
-		"the machine-applicable rewrite",
+	Doc: "report retired spd3 API (Raw, Row, Report.Footprint, server.Client " +
+		"and friends) and suggest the machine-applicable rewrite",
 	Run: runDeprecated,
 }
 
@@ -30,6 +40,25 @@ var DeprecatedAnalyzer = &Analyzer{
 type deprecatedSelector struct {
 	recv        func(*Pass, ast.Expr) bool
 	replacement string
+}
+
+// deprecatedPkgName maps a deprecated qualified identifier
+// (oldPkg.member) to its replacement spelling in another package. The
+// rewrite spans the whole selector, because the qualifier itself moves.
+type deprecatedPkgName struct {
+	pkgPath     string // import path the qualifier must resolve to
+	replacement string // full new spelling, e.g. "client.New"
+}
+
+// isPkgQualifier reports whether x is an identifier naming an imported
+// package with the given import path.
+func isPkgQualifier(pass *Pass, x ast.Expr, pkgPath string) bool {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
 }
 
 func runDeprecated(pass *Pass) error {
@@ -50,10 +79,32 @@ func runDeprecated(pass *Pass) error {
 		"Row":       {recv: isMatrix, replacement: "UncheckedRow"},
 		"Footprint": {recv: isReport, replacement: "Stats.Footprint"},
 	}
+	pkgRules := map[string]deprecatedPkgName{
+		"NewClient": {pkgPath: serverPkgPath, replacement: "client.New"},
+		"Client":    {pkgPath: serverPkgPath, replacement: "client.Client"},
+		"APIError":  {pkgPath: serverPkgPath, replacement: "client.APIError"},
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
+				return true
+			}
+			if rule, ok := pkgRules[sel.Sel.Name]; ok && isPkgQualifier(pass, sel.X, rule.pkgPath) {
+				old := "server." + sel.Sel.Name
+				pass.Report(Diagnostic{
+					Pos: sel.Pos(),
+					Message: "deprecated " + old + " moved; use " + rule.replacement +
+						" (import spd3/client)",
+					Fix: &SuggestedFix{
+						Message: "rewrite " + old + " to " + rule.replacement,
+						Edits: []TextEdit{{
+							Pos:     sel.Pos(),
+							End:     sel.End(),
+							NewText: rule.replacement,
+						}},
+					},
+				})
 				return true
 			}
 			rule, ok := rules[sel.Sel.Name]

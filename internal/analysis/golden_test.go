@@ -130,6 +130,10 @@ func TestDeprecatedGolden(t *testing.T) {
 	runGolden(t, "testdata/deprecated/bad", DeprecatedAnalyzer)
 }
 
+func TestDeprecatedClientGolden(t *testing.T) {
+	runGolden(t, "testdata/deprecated/movedclient", DeprecatedAnalyzer)
+}
+
 func TestSuppressGolden(t *testing.T) {
 	runGolden(t, "testdata/suppress/bad", RawConcAnalyzer)
 }

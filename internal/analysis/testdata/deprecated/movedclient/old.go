@@ -1,0 +1,20 @@
+// Package movedclient exercises the deprecated analyzer's package-move
+// rules: the internal server client survives as deprecated aliases, so
+// this fixture compiles, and each qualified use rewrites to the public
+// spd3/client package. Both packages are imported (and the server
+// import kept alive through its non-deprecated surface) so the applied
+// fixes leave the file type-checking cleanly.
+package movedclient
+
+import (
+	"spd3/client"
+	"spd3/internal/server"
+)
+
+func dial(addr string) *server.Client { // want `deprecated server\.Client moved; use client\.Client \(import spd3/client\)`
+	_ = server.Tool        // non-deprecated surface: stays on the internal package
+	_ = client.New         // keeps the new import live before the fixes land
+	var e *server.APIError // want `deprecated server\.APIError moved; use client\.APIError`
+	_ = e
+	return server.NewClient(addr) // want `deprecated server\.NewClient moved; use client\.New`
+}

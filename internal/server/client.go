@@ -1,134 +1,25 @@
 package server
 
 import (
-	"context"
-	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
-	"strings"
-	"time"
-
-	"spd3/internal/detect"
+	"spd3/client"
 )
 
-// Client is a typed client for a running spd3d daemon. The zero value is
-// not usable; construct with NewClient.
-type Client struct {
-	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7331".
-	BaseURL string
-	// HTTPClient is the underlying transport; NewClient installs a
-	// default with a generous overall timeout.
-	HTTPClient *http.Client
-}
+// Client is the typed spd3d client.
+//
+// Deprecated: the client moved out of internal/ so external tooling can
+// import it; use package spd3/client. This alias keeps old call sites
+// compiling (the public Client is method-compatible and adds the /v2
+// async job API: SubmitJob, WaitJob, Result, StreamEvents).
+type Client = client.Client
+
+// APIError is a non-2xx daemon response.
+//
+// Deprecated: use client.APIError.
+type APIError = client.APIError
 
 // NewClient returns a client for the daemon at baseURL.
+//
+// Deprecated: use client.New.
 func NewClient(baseURL string) *Client {
-	return &Client{
-		BaseURL:    strings.TrimRight(baseURL, "/"),
-		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
-	}
-}
-
-// APIError is a non-200 daemon response, decoded from its JSON
-// ErrorReport body.
-type APIError struct {
-	// Status is the HTTP status code.
-	Status int
-	// Message is the daemon's error text.
-	Message string
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("spd3d: %s (HTTP %d)", e.Message, e.Status)
-}
-
-// Saturated reports whether the request was shed by admission control
-// (429 saturated or 503 draining) — the retryable class a load generator
-// counts separately from hard failures.
-func (e *APIError) Saturated() bool {
-	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
-}
-
-// do issues the request and decodes the response into out, converting
-// non-200 statuses into *APIError.
-func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.HTTPClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return fmt.Errorf("spd3d: reading response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		var er ErrorReport
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return &APIError{Status: resp.StatusCode, Message: er.Error}
-		}
-		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.Unmarshal(body, out); err != nil {
-		return fmt.Errorf("spd3d: decoding response: %w", err)
-	}
-	return nil
-}
-
-// Analyze POSTs a recorded trace and returns the daemon's race report.
-// detector is a registry name, or "all" for differential mode; ""
-// selects the daemon default (spd3).
-func (c *Client) Analyze(ctx context.Context, detector string, tr io.Reader) (*Report, error) {
-	url := c.BaseURL + "/v1/analyze"
-	if detector != "" {
-		url += "?detector=" + detector
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, tr)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	var rep Report
-	if err := c.do(req, &rep); err != nil {
-		return nil, err
-	}
-	return &rep, nil
-}
-
-// Detectors returns the daemon's registry listing.
-func (c *Client) Detectors(ctx context.Context) ([]detect.Description, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/detectors", nil)
-	if err != nil {
-		return nil, err
-	}
-	var list DetectorList
-	if err := c.do(req, &list); err != nil {
-		return nil, err
-	}
-	return list.Detectors, nil
-}
-
-// Health checks /healthz; nil means the daemon is up and not draining.
-func (c *Client) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, nil)
-}
-
-// Stats returns the daemon's /statsz snapshot.
-func (c *Client) Stats(ctx context.Context) (*Statsz, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/statsz", nil)
-	if err != nil {
-		return nil, err
-	}
-	var st Statsz
-	if err := c.do(req, &st); err != nil {
-		return nil, err
-	}
-	return &st, nil
+	return client.New(baseURL)
 }

@@ -1,0 +1,908 @@
+// The /v2 job API: asynchronous trace analysis over the persistent
+// store. POST /v2/jobs streams the upload through the same
+// limiter/cancel/splitter pipeline as /v1/analyze, but instead of
+// replaying inline it spills segments into the content-addressed store,
+// persists a manifest, and answers 202 with a job id; the replay runs
+// on the shard pool behind per-tenant quotas, and the client polls
+// GET /v2/jobs/{id}, streams findings from /events, and collects the
+// merged envelope from /result. The old /v1/analyze endpoint is a thin
+// shim over exactly this path (submit an ephemeral job, wait, relay the
+// result), which is what lets every pre-redesign test double as a
+// compatibility oracle for the job machinery.
+package server
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"spd3/internal/detect"
+	"spd3/internal/stats"
+	"spd3/internal/trace"
+)
+
+// DetectorProgress is one detector's live progress inside a job status.
+type DetectorProgress struct {
+	Detector     string `json:"detector"`
+	SegmentsDone int    `json:"segments_done"`
+	RaceCount    int    `json:"race_count"`
+}
+
+// JobStatus is the machine-readable job state served by GET
+// /v2/jobs/{id} (and, with state "queued", the 202 body of POST
+// /v2/jobs). RaceCount and Progress move while the job runs, so a
+// poller watches partial results without touching /events.
+type JobStatus struct {
+	Tool        string             `json:"tool"`
+	Version     string             `json:"version"`
+	ID          string             `json:"job_id"`
+	Tenant      string             `json:"tenant"`
+	Detector    string             `json:"detector"`
+	Sequential  bool               `json:"sequential"`
+	State       string             `json:"state"`
+	TraceBytes  int64              `json:"trace_bytes"`
+	StoredBytes int64              `json:"stored_bytes"`
+	Segments    int                `json:"segments"`
+	Sharded     bool               `json:"sharded"`
+	Unsplit     bool               `json:"unsplit,omitempty"`
+	Progress    []DetectorProgress `json:"progress,omitempty"`
+	RaceCount   int                `json:"race_count"`
+	Error       string             `json:"error,omitempty"`
+	CreatedAt   time.Time          `json:"created_at"`
+	UpdatedAt   time.Time          `json:"updated_at"`
+}
+
+// JobList is the GET /v2/jobs response.
+type JobList struct {
+	Tool    string      `json:"tool"`
+	Version string      `json:"version"`
+	Jobs    []JobStatus `json:"jobs"`
+}
+
+// jobEvent is one SSE frame: an event name and its JSON payload.
+type jobEvent struct {
+	name string
+	data []byte
+}
+
+// Job is one analysis job's live state: the durable manifest plus the
+// in-memory accumulator, cancellation plumbing, and SSE subscribers.
+// All mutable fields are guarded by mu; done closes exactly once, when
+// the job reaches a terminal state.
+type Job struct {
+	mu sync.Mutex
+	m  *Manifest
+
+	// names and acc exist while the job runs: the detector fan-out set
+	// and one merged verdict per detector, deduplicated job-wide.
+	names    []string
+	acc      []*mergedVerdict
+	segsDone []int
+
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+	done       chan struct{}
+	subs       map[chan jobEvent]struct{}
+
+	// ephemeral marks a /v1 shim job: deleted as soon as the waiting
+	// request has relayed its result, so it never occupies quota or
+	// store space beyond the request lifetime.
+	ephemeral bool
+	// slotFreed guards the one-time release of the tenant's queue slot.
+	slotFreed bool
+}
+
+// cancel requests cancellation; the replay observes it at its next
+// Limits.Cancel poll. Idempotent.
+func (j *Job) cancel() {
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+}
+
+// manifest returns a shallow copy of the job's manifest under the lock.
+func (j *Job) manifest() Manifest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return *j.m
+}
+
+// status builds the wire status under the lock.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		Tool:        Tool,
+		Version:     Version,
+		ID:          j.m.ID,
+		Tenant:      j.m.Tenant,
+		Detector:    j.m.Detector,
+		Sequential:  j.m.Sequential,
+		State:       j.m.State,
+		TraceBytes:  j.m.TraceBytes,
+		StoredBytes: j.m.StoredBytes(),
+		Segments:    len(j.m.Segments),
+		Sharded:     j.m.Sharded,
+		Unsplit:     j.m.Unsplit,
+		Error:       j.m.Error,
+		CreatedAt:   j.m.CreatedAt,
+		UpdatedAt:   j.m.UpdatedAt,
+	}
+	if !j.m.Sharded {
+		st.Segments = 0
+	}
+	for i, name := range j.names {
+		p := DetectorProgress{Detector: name, SegmentsDone: j.segsDone[i]}
+		if j.acc != nil {
+			p.RaceCount = j.acc[i].count
+			st.RaceCount += j.acc[i].count
+		}
+		st.Progress = append(st.Progress, p)
+	}
+	if j.m.Result != nil {
+		st.RaceCount = 0
+		for _, v := range j.m.Result.Verdicts {
+			st.RaceCount += v.RaceCount
+		}
+	}
+	return st
+}
+
+// subscribe registers an SSE subscriber and returns the channel plus a
+// replay of everything the subscriber missed: the races found so far
+// and, for a terminal job, the final event. The channel is closed when
+// the job finishes (or immediately, after the replay, if it already
+// has).
+func (j *Job) subscribe() (ch chan jobEvent, replay []jobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, m := range j.acc {
+		for _, r := range m.races {
+			replay = append(replay, raceEvent(j.names[i], r))
+		}
+	}
+	if j.m.Result != nil && j.acc == nil {
+		// Terminal job loaded from disk: replay from the result.
+		for _, v := range j.m.Result.Verdicts {
+			for _, r := range v.Races {
+				replay = append(replay, raceEvent(v.Detector, r))
+			}
+		}
+	}
+	ch = make(chan jobEvent, 256)
+	if terminalState(j.m.State) {
+		replay = append(replay, j.finalEventLocked())
+		close(ch)
+		return ch, replay
+	}
+	j.subs[ch] = struct{}{}
+	return ch, replay
+}
+
+func (j *Job) unsubscribe(ch chan jobEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// broadcast fans one event to every subscriber. Sends never block: a
+// subscriber that has fallen 256 events behind loses this one (SSE is a
+// tail, not a journal — /result is the complete record).
+func (j *Job) broadcast(ev jobEvent) {
+	j.mu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// finish closes out the subscriber set with the final event.
+func (j *Job) finish() {
+	j.mu.Lock()
+	ev := j.finalEventLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
+	j.subs = map[chan jobEvent]struct{}{}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) finalEventLocked() jobEvent {
+	data, _ := json.Marshal(struct {
+		State     string `json:"state"`
+		RaceCount int    `json:"race_count"`
+		Error     string `json:"error,omitempty"`
+	}{State: j.m.State, RaceCount: j.raceCountLocked(), Error: j.m.Error})
+	return jobEvent{name: "done", data: data}
+}
+
+func (j *Job) raceCountLocked() int {
+	n := 0
+	for _, m := range j.acc {
+		n += m.count
+	}
+	if j.m.Result != nil && j.acc == nil {
+		for _, v := range j.m.Result.Verdicts {
+			n += v.RaceCount
+		}
+	}
+	return n
+}
+
+func raceEvent(detector string, r Race) jobEvent {
+	data, _ := json.Marshal(struct {
+		Detector string `json:"detector"`
+		Race     Race   `json:"race"`
+	}{detector, r})
+	return jobEvent{name: "race", data: data}
+}
+
+func stateEvent(state string) jobEvent {
+	data, _ := json.Marshal(struct {
+		State string `json:"state"`
+	}{state})
+	return jobEvent{name: "state", data: data}
+}
+
+// newJobID returns a fresh, unguessable job id.
+func newJobID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// tenantOf extracts the request's tenant: the X-SPD3-Tenant header, or
+// "default" when absent — single-tenant deployments never see quota
+// interference because every request lands in the same bucket.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-SPD3-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// submitOpts parameterizes submitJob across its two callers (the /v2
+// handler and the /v1 shim).
+type submitOpts struct {
+	detector  string // validated registry name or "all"
+	tenant    string
+	withStats bool
+	shard     bool // run the splitter (pool exists and shard != "off")
+	ephemeral bool // /v1 shim job: delete after the response
+	estimate  int64
+}
+
+// submitJob runs the submit half of a job: admission against the
+// tenant's quotas, the streaming spill of the request body into the
+// store, and the durable manifest write. On success the job is
+// registered, counted, and already handed to the executor. The returned
+// error is classified by the caller (quotaErr → 429, trace sentinels →
+// their /v1 statuses).
+func (s *Server) submitJob(ctx context.Context, body io.Reader, opts submitOpts) (*Job, error) {
+	if err := s.quotas.admit(opts.tenant, opts.estimate); err != nil {
+		s.shard().Inc(stats.QuotaDenied)
+		return nil, err
+	}
+	admitted := false
+	defer func() {
+		if !admitted {
+			s.quotas.releaseSlot(opts.tenant)
+		}
+	}()
+
+	s.store.BeginWrite()
+	defer s.store.EndWrite()
+
+	limiter := trace.NewLimitedReader(body, s.cfg.MaxBodyBytes)
+	br := bufio.NewReaderSize(trace.NewCancelReader(limiter, ctx.Done(), nil), 64<<10)
+
+	sequential, err := trace.PeekHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if opts.detector != "all" {
+		for _, d := range detect.Describe() {
+			if d.Name == opts.detector && d.Sequential && !sequential {
+				return nil, fmt.Errorf("detector %q requires a depth-first trace: %w", opts.detector, trace.ErrSequentialOnly)
+			}
+		}
+	}
+
+	var (
+		refs    []SegmentRef
+		unsplit bool
+	)
+	sh := s.shard()
+	putRef := func(ref SegmentRef, dup bool) {
+		refs = append(refs, ref)
+		if dup {
+			sh.Inc(stats.StoreDedupHits)
+		} else {
+			sh.Add(stats.StorePutBytes, ref.Bytes)
+		}
+	}
+	if opts.shard {
+		sp, err := trace.NewSplitter(br, trace.SplitConfig{
+			MinSegmentBytes: s.cfg.MinSegmentBytes,
+			MaxSegmentBytes: s.cfg.MaxSegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	split:
+		for {
+			seg, err := sp.Next()
+			switch {
+			case errors.Is(err, io.EOF):
+				break split
+			case errors.Is(err, trace.ErrSegmentOversize):
+				// One finish scope refuses to fit a segment: the rest of
+				// the stream (including the splitter's buffered prefix)
+				// spills to the store as a single blob, hashed while
+				// streaming so nothing is materialized in memory.
+				ref, dup, perr := s.store.PutStream(sp.Unsplit())
+				if perr != nil {
+					return nil, perr
+				}
+				putRef(ref, dup)
+				unsplit = true
+				sh.Inc(stats.SrvUnsplit)
+				break split
+			case err != nil:
+				return nil, err
+			}
+			ref, dup, perr := s.store.Put(seg)
+			if perr != nil {
+				return nil, perr
+			}
+			putRef(ref, dup)
+		}
+		sh.Add(stats.TraceSegments, int64(len(refs)))
+	} else {
+		ref, dup, perr := s.store.PutStream(br)
+		if perr != nil {
+			return nil, perr
+		}
+		putRef(ref, dup)
+	}
+
+	streamed := limiter.Count()
+	sh.Add(stats.SrvBytesRead, streamed)
+	if opts.shard || opts.detector != "all" {
+		sh.Add(stats.SrvStreamedBytes, streamed)
+	}
+
+	now := time.Now()
+	m := &Manifest{
+		ID:         newJobID(),
+		Tenant:     opts.tenant,
+		Detector:   opts.detector,
+		Sequential: sequential,
+		WithStats:  opts.withStats,
+		Sharded:    opts.shard,
+		Unsplit:    unsplit,
+		Segments:   refs,
+		TraceBytes: streamed,
+		State:      StateQueued,
+		CreatedAt:  now,
+		UpdatedAt:  now,
+	}
+	if err := s.store.WriteManifest(m); err != nil {
+		return nil, err
+	}
+	admitted = true
+	s.quotas.charge(opts.tenant, m.StoredBytes(), opts.estimate)
+
+	j := &Job{
+		m:         m,
+		cancelCh:  make(chan struct{}),
+		done:      make(chan struct{}),
+		subs:      map[chan jobEvent]struct{}{},
+		ephemeral: opts.ephemeral,
+	}
+	s.jobsMu.Lock()
+	s.jobs[m.ID] = j
+	s.jobsMu.Unlock()
+	sh.Inc(stats.JobSubmitted)
+	sh.Inc(stats.JobQueued)
+	s.logf("job %s submitted tenant=%s detector=%s bytes=%d segments=%d",
+		m.ID, opts.tenant, opts.detector, streamed, len(refs))
+	go s.runJob(j)
+	return j, nil
+}
+
+// replaySegment replays one stored segment into a fresh instance of the
+// named detector, streaming each distinct race through onRace (the
+// job-level accumulator) and folding the run's stats into the server
+// aggregate.
+func (s *Server) replaySegment(name string, rd io.Reader, lim trace.Limits, onRace func(detect.Race)) (stats.Snapshot, error) {
+	sink := detect.NewSink(false, s.cfg.MaxRacesPerReport)
+	rec := stats.New(1)
+	sink.SetStats(rec.Shard(0))
+	sink.SetOnRace(func(r detect.Race) bool {
+		onRace(r)
+		return false
+	})
+	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec})
+	if err != nil {
+		return stats.Snapshot{}, err
+	}
+	replayErr := trace.ReplayWithLimits(rd, det, lim)
+	snap := rec.Snapshot()
+	snap.Footprint = det.Footprint()
+	s.mu.Lock()
+	s.agg.Merge(snap)
+	s.mu.Unlock()
+	return snap, replayErr
+}
+
+// runJob is the executor: it fans the job's (segment, detector) pairs
+// across the shard pool, bounded by the tenant's shard semaphore so one
+// tenant's backlog cannot monopolize the pool, then finalizes the
+// manifest with the merged result. It runs on its own goroutine; Drain
+// waits for it like any in-flight analysis.
+func (s *Server) runJob(j *Job) {
+	if !s.beginJob(j.ephemeral) {
+		// Draining: the job stays queued on disk and resumes when the
+		// next daemon opens the store.
+		return
+	}
+	defer s.endJob()
+
+	m := j.manifest()
+	names := []string{m.Detector}
+	if m.Detector == "all" {
+		names = eligibleDetectors(m.Sequential)
+	}
+	j.mu.Lock()
+	j.names = names
+	j.segsDone = make([]int, len(names))
+	j.acc = make([]*mergedVerdict, len(names))
+	for i, n := range names {
+		j.acc[i] = &mergedVerdict{detector: n, seen: map[raceKey]struct{}{}, races: []Race{}}
+	}
+	j.m.State = StateRunning
+	j.m.UpdatedAt = time.Now()
+	man := *j.m
+	j.mu.Unlock()
+	sh := s.shard()
+	sh.Add(stats.JobQueued, -1)
+	sh.Inc(stats.JobRunning)
+	if !s.killed.Load() {
+		s.store.WriteManifest(&man) //nolint:errcheck // progress persistence is best-effort; terminal write is checked
+	}
+	j.broadcast(stateEvent(StateRunning))
+
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	defer cancelCtx()
+	go func() {
+		select {
+		case <-j.cancelCh:
+			cancelCtx()
+		case <-ctx.Done():
+		}
+	}()
+	lim := s.cfg.Limits
+	lim.Cancel = j.cancelCh
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		j.cancel() // one failed segment aborts the rest of the fan-out
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	tsem := s.quotas.shardSem(m.Tenant)
+	segJob := func(di int, ref SegmentRef) {
+		rd, err := s.store.Open(ref)
+		if err != nil {
+			setErr(err)
+			return
+		}
+		defer rd.Close()
+		s.shard().Inc(stats.JobSegmentReplays)
+		snap, err := s.replaySegment(names[di], bufio.NewReaderSize(rd, 64<<10), lim, func(r detect.Race) {
+			j.addRace(di, r, s.cfg.MaxRacesPerReport)
+		})
+		if err != nil {
+			setErr(err)
+			return
+		}
+		j.mu.Lock()
+		j.acc[di].stats.Merge(snap)
+		j.segsDone[di]++
+		j.mu.Unlock()
+	}
+
+fanout:
+	for _, ref := range m.Segments {
+		for di := range names {
+			if failed() {
+				break fanout
+			}
+			if tsem != nil {
+				select {
+				case tsem <- struct{}{}:
+				case <-ctx.Done():
+					setErr(trace.ErrCanceled)
+					break fanout
+				}
+			}
+			release := func() {
+				if tsem != nil {
+					<-tsem
+				}
+			}
+			if s.pool != nil {
+				di, ref := di, ref
+				if !s.pool.run(ctx, s.shard(), &wg, func() {
+					defer release()
+					segJob(di, ref)
+				}) {
+					release()
+					setErr(trace.ErrCanceled)
+					break fanout
+				}
+			} else {
+				segJob(di, ref)
+				release()
+			}
+		}
+	}
+	wg.Wait()
+	if ctx.Err() != nil && !failed() {
+		setErr(trace.ErrCanceled)
+	}
+	s.finalizeJob(j, names, firstErr, time.Since(start))
+}
+
+// addRace folds one streamed race into the job accumulator (dedup is
+// job-wide per detector) and broadcasts fresh races to SSE subscribers.
+func (j *Job) addRace(di int, r detect.Race, maxRaces int) {
+	wire := Race{Kind: r.Kind.String(), Region: r.Region, Index: r.Index, Prev: r.PrevStep, Cur: r.CurStep}
+	j.mu.Lock()
+	m := j.acc[di]
+	k := raceKey{wire.Kind, wire.Region, wire.Index}
+	if _, dup := m.seen[k]; dup {
+		j.mu.Unlock()
+		return
+	}
+	m.seen[k] = struct{}{}
+	m.racy = true
+	m.count++
+	if len(m.races) < maxRaces {
+		m.races = append(m.races, wire)
+	} else {
+		m.capped = true
+	}
+	name := j.names[di]
+	j.mu.Unlock()
+	j.broadcast(raceEvent(name, wire))
+}
+
+// finalizeJob moves the job to its terminal state, persists the result
+// (skipped after Kill, simulating a daemon that died mid-replay), and
+// settles counters and quota.
+func (s *Server) finalizeJob(j *Job, names []string, runErr error, wall time.Duration) {
+	j.mu.Lock()
+	m := j.m
+	m.UpdatedAt = time.Now()
+	var verdicts []Verdict
+	switch {
+	case runErr != nil && errors.Is(runErr, trace.ErrCanceled):
+		m.State = StateCanceled
+		m.Error = "analysis canceled"
+	case runErr != nil:
+		m.State = StateFailed
+		m.Error = runErr.Error()
+		m.ErrorStatus = statusFor(runErr)
+	default:
+		m.State = StateDone
+		ms := float64(wall) / float64(time.Millisecond)
+		verdicts = make([]Verdict, len(j.acc))
+		for i, acc := range j.acc {
+			verdicts[i] = Verdict{
+				Detector:   acc.detector,
+				Racy:       acc.racy,
+				RaceCount:  acc.count,
+				Races:      acc.races,
+				Capped:     acc.capped,
+				DurationMS: ms,
+			}
+			sortWireRaces(verdicts[i].Races)
+			if m.WithStats {
+				snap := acc.stats
+				verdicts[i].Stats = &snap
+			}
+		}
+		rep := &Report{
+			Tool:       Tool,
+			Version:    Version,
+			Detector:   m.Detector,
+			Sequential: m.Sequential,
+			TraceBytes: m.TraceBytes,
+			Verdicts:   verdicts,
+			Sharded:    m.Sharded,
+		}
+		if m.Sharded {
+			rep.Segments = len(m.Segments)
+		}
+		if m.Detector == "all" {
+			agree := true
+			for _, v := range verdicts {
+				agree = agree && v.Racy == verdicts[0].Racy
+			}
+			rep.Agree = &agree
+		}
+		m.Result = rep
+	}
+	state := m.State
+	man := *m
+	j.mu.Unlock()
+
+	sh := s.shard()
+	sh.Add(stats.JobRunning, -1)
+	switch state {
+	case StateDone:
+		sh.Inc(stats.JobDone)
+		sh.Add(stats.SrvAnalyses, int64(len(verdicts)))
+	case StateFailed:
+		sh.Inc(stats.JobFailed)
+	case StateCanceled:
+		sh.Inc(stats.JobCanceled)
+	}
+	if !s.killed.Load() {
+		if err := s.store.WriteManifest(&man); err != nil {
+			s.logf("job %s: persisting terminal manifest: %v", man.ID, err)
+		}
+		s.releaseSlotOnce(j)
+	}
+	s.logf("job %s %s tenant=%s detector=%s segments=%d err=%v",
+		man.ID, state, man.Tenant, man.Detector, len(man.Segments), runErr)
+	j.finish()
+	s.sampleMem()
+}
+
+// releaseSlotOnce returns the job's tenant queue slot exactly once.
+func (s *Server) releaseSlotOnce(j *Job) {
+	j.mu.Lock()
+	freed := j.slotFreed
+	j.slotFreed = true
+	tenant := j.m.Tenant
+	j.mu.Unlock()
+	if !freed {
+		s.quotas.releaseSlot(tenant)
+	}
+}
+
+// removeJob deletes a job outright: manifest gone, stored bytes
+// released, dropped from the table. The blobs become garbage for the
+// next sweep. Callers must only remove terminal jobs.
+func (s *Server) removeJob(j *Job) {
+	man := j.manifest()
+	s.jobsMu.Lock()
+	delete(s.jobs, man.ID)
+	s.jobsMu.Unlock()
+	if err := s.store.DeleteManifest(man.ID); err != nil {
+		s.logf("job %s: deleting manifest: %v", man.ID, err)
+	}
+	s.releaseSlotOnce(j)
+	s.quotas.releaseBytes(man.Tenant, man.StoredBytes())
+}
+
+// lookupJob finds one job by path id.
+func (s *Server) lookupJob(id string) *Job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+// sortWireRaces orders a verdict's races like detect.Sink does, so the
+// merged report is deterministic regardless of segment completion
+// order.
+func sortWireRaces(races []Race) {
+	sort.Slice(races, func(i, k int) bool {
+		a, b := races[i], races[k]
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// ---- /v2 handlers ----
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("detector")
+	if name == "" {
+		name = "spd3"
+	}
+	if name != "all" && !detect.Registered(name) {
+		s.writeError(w, http.StatusNotFound, "unknown detector %q", name)
+		return
+	}
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	opts := submitOpts{
+		detector:  name,
+		tenant:    tenantOf(r),
+		withStats: r.URL.Query().Get("stats") != "",
+		shard:     s.pool != nil && r.URL.Query().Get("shard") != "off",
+		estimate:  max(r.ContentLength, 0),
+	}
+	j, err := s.submitJob(r.Context(), r.Body, opts)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	st := j.status()
+	w.Header().Set("Location", "/v2/jobs/"+st.ID)
+	s.writeJSON(w, http.StatusAccepted, st)
+}
+
+// writeSubmitError classifies a submitJob failure: quota exhaustion is
+// 429 with Retry-After, trace sentinels keep their /v1 statuses, and a
+// canceled upload (client gone) is 504.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var qe *quotaErr
+	if errors.As(err, &qe) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(qe.retryAfter.Seconds()+0.5)))
+		s.writeError(w, http.StatusTooManyRequests, "%v", qe)
+		return
+	}
+	if errors.Is(err, trace.ErrCanceled) {
+		s.writeError(w, http.StatusGatewayTimeout, "upload canceled: %v", err)
+		return
+	}
+	s.writeError(w, statusFor(err), "%v", err)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobsMu.Unlock()
+	list := JobList{Tool: Tool, Version: Version, Jobs: []JobStatus{}}
+	tenant := r.Header.Get("X-SPD3-Tenant")
+	for _, j := range jobs {
+		st := j.status()
+		if tenant != "" && st.Tenant != tenant {
+			continue
+		}
+		list.Jobs = append(list.Jobs, st)
+	}
+	sort.Slice(list.Jobs, func(i, k int) bool {
+		a, b := list.Jobs[i], list.Jobs[k]
+		if !a.CreatedAt.Equal(b.CreatedAt) {
+			return a.CreatedAt.Before(b.CreatedAt)
+		}
+		return a.ID < b.ID
+	})
+	s.writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	m := j.manifest()
+	switch m.State {
+	case StateDone:
+		s.writeJSON(w, http.StatusOK, m.Result)
+	case StateFailed:
+		status := m.ErrorStatus
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		s.writeError(w, status, "%s", m.Error)
+	case StateCanceled:
+		s.writeError(w, http.StatusGatewayTimeout, "analysis canceled")
+	default:
+		// Not terminal yet: answer like the 202 submit did, so pollers
+		// can hit /result in a loop until it turns into the envelope.
+		s.writeJSON(w, http.StatusAccepted, j.status())
+	}
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if m := j.manifest(); !terminalState(m.State) {
+		// Running or queued: DELETE is a cancellation request, routed
+		// through the same Limits.Cancel plumbing as /v1 deadlines. The
+		// job survives (state canceled) until deleted again.
+		j.cancel()
+		s.writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+	s.removeJob(j)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, replay := j.subscribe()
+	defer j.unsubscribe(ch)
+	write := func(ev jobEvent) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+	}
+	for _, ev := range replay {
+		write(ev)
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			write(ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

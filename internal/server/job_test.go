@@ -1,0 +1,411 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spd3/internal/detect"
+	"spd3/internal/stats"
+	"spd3/internal/trace"
+)
+
+// gatedReal wraps a real detector behind the test gate: MainTask blocks
+// until the gate opens, then the wrapped detector runs normally. Unlike
+// the pure gate detector it produces real verdicts, which is what the
+// restart test needs — a job interrupted mid-replay must come back with
+// the *correct* result, not just any terminal state.
+type gatedReal struct{ detect.Detector }
+
+func (g gatedReal) MainTask(t *detect.Task, f *detect.Finish) {
+	gate.mu.Lock()
+	ch := gate.ch
+	gate.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	g.Detector.MainTask(t, f)
+}
+
+func init() {
+	detect.RegisterVariant("test-gate-spd3", func(o detect.FactoryOpts) detect.Detector {
+		d, err := detect.New("spd3", o)
+		if err != nil {
+			panic(err)
+		}
+		return gatedReal{d}
+	})
+}
+
+// submitV2 POSTs a trace to /v2/jobs with an optional tenant header.
+func submitV2(t *testing.T, base, query, tenant string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v2/jobs"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if tenant != "" {
+		req.Header.Set("X-SPD3-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeJobStatus(t *testing.T, data []byte) *JobStatus {
+	t.Helper()
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding job status: %v\n%s", err, data)
+	}
+	return &st
+}
+
+// jobState polls one job's state straight off the server's table.
+func jobState(s *Server, id string) string {
+	j := s.lookupJob(id)
+	if j == nil {
+		return ""
+	}
+	return j.manifest().State
+}
+
+// TestJobLifecycleV2 drives the native async path over HTTP: submit is
+// 202 with a Location header, status moves queued→running→done, /result
+// returns the envelope, and a second DELETE removes the finished job.
+func TestJobLifecycleV2(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2})
+	defer s.Close()
+	tr := recordRacyMonteCarlo(t)
+
+	resp, body := submitV2(t, ts.URL, "?detector=spd3", "", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d\n%s", resp.StatusCode, body)
+	}
+	st := decodeJobStatus(t, body)
+	if st.ID == "" || st.Tenant != "default" {
+		t.Fatalf("submit body: %+v", st)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v2/jobs/"+st.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	waitFor(t, func() bool { return jobState(s, st.ID) == StateDone }, "job done")
+
+	res, err := http.Get(ts.URL + "/v2/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	rep := decodeReport(t, data)
+	if len(rep.Verdicts) != 1 || !rep.Verdicts[0].Racy || rep.Verdicts[0].RaceCount == 0 {
+		t.Fatalf("job result: %+v", rep)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+st.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", del.StatusCode)
+	}
+	if s.lookupJob(st.ID) != nil {
+		t.Fatal("job still in table after delete")
+	}
+}
+
+// TestJobRestartResume is the daemon-restart oracle: a job killed
+// mid-replay (manifest frozen in state running, as SIGKILL would leave
+// it) must resume when a new daemon opens the same store, finish with
+// the correct racy verdict, and leave no orphaned files in tmp/.
+func TestJobRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	tr := recordRacyMonteCarlo(t)
+
+	s1, err := Open(Config{StoreDir: dir, MaxInFlight: 2, ShardWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	release := setGate()
+	defer release()
+
+	resp, body := submitV2(t, ts1.URL, "?detector=test-gate-spd3", "crash", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d\n%s", resp.StatusCode, body)
+	}
+	id := decodeJobStatus(t, body).ID
+	waitFor(t, func() bool { return jobState(s1, id) == StateRunning }, "job running")
+
+	// Die. Kill freezes all manifest persistence first, then releasing
+	// the gate lets the stuck replay goroutine drain away — whatever it
+	// computes is never written, so the disk looks exactly as a SIGKILL
+	// mid-replay would have left it.
+	s1.Kill()
+	release()
+	ts1.Close()
+
+	// A leftover staging file from the "crash" must not survive reopen.
+	orphan := filepath.Join(dir, "tmp", "put-12345")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{StoreDir: dir, MaxInFlight: 2, ShardWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	waitFor(t, func() bool { return terminalState(jobState(s2, id)) }, "resumed job terminal")
+	j := s2.lookupJob(id)
+	m := j.manifest()
+	if m.State != StateDone {
+		t.Fatalf("resumed job state = %s (%s), want done", m.State, m.Error)
+	}
+	if len(m.Result.Verdicts) != 1 || !m.Result.Verdicts[0].Racy || m.Result.Verdicts[0].RaceCount == 0 {
+		t.Fatalf("resumed job result: %+v", m.Result)
+	}
+
+	st := getStatsz(t, ts2.URL)
+	if st.Stats.Get(stats.JobResumed) != 1 {
+		t.Errorf("job.resumed = %d, want 1", st.Stats.Get(stats.JobResumed))
+	}
+	tmps, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("tmp/ not empty after restart: %v", tmps)
+	}
+}
+
+// TestTenantIsolation is the acceptance criterion for quotas: tenant
+// B exhausting its per-tenant job quota is rejected with 429 +
+// Retry-After, while tenant A's jobs submit and complete untouched —
+// B's exhaustion never delays A.
+func TestTenantIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxInFlight:  4,
+		ShardWorkers: 2,
+		Quota:        QuotaConfig{MaxQueuedJobs: 1},
+	})
+	defer s.Close()
+	tr := recordRacyMonteCarlo(t)
+	release := setGate()
+	defer release()
+
+	// B's one allowed job parks on the gate.
+	resp, body := submitV2(t, ts.URL, "?detector=test-gate", "tenant-b", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-b submit = %d\n%s", resp.StatusCode, body)
+	}
+	bID := decodeJobStatus(t, body).ID
+	waitFor(t, func() bool { return jobState(s, bID) == StateRunning }, "tenant-b job running")
+
+	// B's second job overflows B's quota.
+	resp, body = submitV2(t, ts.URL, "?detector=spd3", "tenant-b", tr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant-b overflow = %d, want 429\n%s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	// A is a different tenant: same daemon, fresh quota. Its job must
+	// run to completion while B is both gated and over quota.
+	resp, body = submitV2(t, ts.URL, "?detector=spd3", "tenant-a", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-a submit = %d, want 202 (B's quota leaked across tenants)\n%s", resp.StatusCode, body)
+	}
+	aID := decodeJobStatus(t, body).ID
+	waitFor(t, func() bool { return jobState(s, aID) == StateDone }, "tenant-a job done while B is parked")
+	if j := s.lookupJob(aID); !j.manifest().Result.Verdicts[0].Racy {
+		t.Error("tenant-a verdict lost its races")
+	}
+
+	release()
+	waitFor(t, func() bool { return terminalState(jobState(s, bID)) }, "tenant-b job finished after release")
+	if st := getStatsz(t, ts.URL); st.Stats.Get(stats.QuotaDenied) != 1 {
+		t.Errorf("quota.denied = %d, want 1", st.Stats.Get(stats.QuotaDenied))
+	}
+}
+
+// TestDifferentialV1V2Amplified runs the same amplified trace through
+// the synchronous /v1 path and a native /v2 job and requires identical
+// results: same verdicts, same race sets, same segment count. This is
+// the acceptance differential — the job machinery may not change what
+// the daemon finds.
+func TestDifferentialV1V2Amplified(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxInFlight:     2,
+		ShardWorkers:    2,
+		MinSegmentBytes: 1 << 10,
+	})
+	defer s.Close()
+	base := recordRacyMonteCarlo(t)
+
+	const scale = 64
+	amp1, err := trace.NewAmplifier(base, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postReader(t, ts.URL+"/v1/analyze?detector=all", amp1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 status = %d\n%s", resp.StatusCode, body)
+	}
+	v1 := decodeReport(t, body)
+
+	amp2, err := trace.NewAmplifier(base, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postReader(t, ts.URL+"/v2/jobs?detector=all", amp2)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("v2 submit = %d\n%s", resp.StatusCode, body)
+	}
+	id := decodeJobStatus(t, body).ID
+	waitFor(t, func() bool { return terminalState(jobState(s, id)) }, "v2 job terminal")
+	m := s.lookupJob(id).manifest()
+	if m.State != StateDone {
+		t.Fatalf("v2 job state = %s (%s)", m.State, m.Error)
+	}
+	v2 := m.Result
+
+	if v1.Sequential != v2.Sequential || v1.TraceBytes != v2.TraceBytes {
+		t.Errorf("envelope drift: v1 seq=%v bytes=%d, v2 seq=%v bytes=%d",
+			v1.Sequential, v1.TraceBytes, v2.Sequential, v2.TraceBytes)
+	}
+	if v1.Segments != v2.Segments || !v1.Sharded || !v2.Sharded || v1.Segments < 2 {
+		t.Errorf("segments: v1 %d (sharded=%v) v2 %d (sharded=%v), want equal and >1",
+			v1.Segments, v1.Sharded, v2.Segments, v2.Sharded)
+	}
+	if len(v1.Verdicts) != len(v2.Verdicts) {
+		t.Fatalf("verdict count: v1 %d v2 %d", len(v1.Verdicts), len(v2.Verdicts))
+	}
+	for i := range v1.Verdicts {
+		a, b := v1.Verdicts[i], v2.Verdicts[i]
+		if a.Detector != b.Detector || a.Racy != b.Racy || a.RaceCount != b.RaceCount {
+			t.Errorf("verdict %s: v1 racy=%v count=%d, v2 %s racy=%v count=%d",
+				a.Detector, a.Racy, a.RaceCount, b.Detector, b.Racy, b.RaceCount)
+			continue
+		}
+		if len(a.Races) != len(b.Races) {
+			t.Errorf("%s: race list length %d vs %d", a.Detector, len(a.Races), len(b.Races))
+			continue
+		}
+		// Compare by the dedup identity (kind, region, index): the
+		// Prev/Cur witnesses depend on which shard saw the access
+		// first, which varies with scheduling.
+		for k := range a.Races {
+			ra, rb := a.Races[k], b.Races[k]
+			if ra.Kind != rb.Kind || ra.Region != rb.Region || ra.Index != rb.Index {
+				t.Errorf("%s race %d: v1 %+v v2 %+v", a.Detector, k, ra, rb)
+			}
+		}
+	}
+}
+
+// TestStoreDedupAndSweep pins the CAS economics: submitting the same
+// trace twice stores its segments once (the second job is pure dedup
+// hits, but its quota charge stays pre-dedup), and deleting both jobs
+// makes the next GC pass reclaim every blob.
+func TestStoreDedupAndSweep(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxInFlight:     2,
+		ShardWorkers:    2,
+		MinSegmentBytes: 1 << 10,
+	})
+	defer s.Close()
+	base := recordRacyMonteCarlo(t)
+	amplified := func() io.Reader {
+		amp, err := trace.NewAmplifier(base, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return amp
+	}
+
+	resp, body := postReader(t, ts.URL+"/v2/jobs?detector=spd3", amplified())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d\n%s", resp.StatusCode, body)
+	}
+	st1 := decodeJobStatus(t, body)
+	if st1.Segments < 2 {
+		t.Fatalf("segments = %d, want the splitter to cut", st1.Segments)
+	}
+	blobs1, bytes1 := s.Store().Blobs()
+	if blobs1 == 0 || bytes1 == 0 {
+		t.Fatal("no blobs stored")
+	}
+
+	// Same bytes again: a fully deduplicated second job.
+	resp, body = postReader(t, ts.URL+"/v2/jobs?detector=spd3", amplified())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d\n%s", resp.StatusCode, body)
+	}
+	st2 := decodeJobStatus(t, body)
+	blobs2, bytes2 := s.Store().Blobs()
+	if blobs2 != blobs1 || bytes2 != bytes1 {
+		t.Errorf("cas grew on duplicate submit: %d/%d → %d/%d blobs/bytes", blobs1, bytes1, blobs2, bytes2)
+	}
+	if st2.StoredBytes != st1.StoredBytes || st2.StoredBytes == 0 {
+		t.Errorf("quota charge %d (first %d): dedup must not launder quota", st2.StoredBytes, st1.StoredBytes)
+	}
+	if hits := getStatsz(t, ts.URL).Stats.Get(stats.StoreDedupHits); hits < int64(st2.Segments) {
+		t.Errorf("store.dedup_hits = %d, want >= %d (every second-job segment)", hits, st2.Segments)
+	}
+
+	waitFor(t, func() bool { return jobState(s, st1.ID) == StateDone && jobState(s, st2.ID) == StateDone }, "both jobs done")
+
+	for _, id := range []string{st1.ID, st2.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+id, nil)
+		del, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		del.Body.Close()
+		if del.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %s = %d", id, del.StatusCode)
+		}
+	}
+	if _, swept := s.GC(); swept != blobs1 {
+		t.Errorf("swept %d blobs, want %d", swept, blobs1)
+	}
+	if n, b := s.Store().Blobs(); n != 0 || b != 0 {
+		t.Errorf("cas not empty after sweep: %d blobs / %d bytes", n, b)
+	}
+}
+
+// postReader is post for streaming bodies (amplifiers are single-use).
+func postReader(t *testing.T, url string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// QuotaConfig bounds what one tenant (keyed by the X-SPD3-Tenant header;
+// missing header = the "default" tenant) may consume. Every limit is
+// per-tenant, so one tenant exhausting its quota never touches another
+// tenant's admission — the isolation the /v2 redesign promises.
+type QuotaConfig struct {
+	// MaxQueuedJobs bounds a tenant's non-terminal jobs (queued +
+	// running). Defaults to 64; negative disables the bound.
+	MaxQueuedJobs int
+	// MaxStoredBytes bounds a tenant's total stored segment bytes,
+	// summed over its live jobs (pre-dedup, so self-similar traces
+	// cannot launder quota through the CAS). Defaults to 4 GiB;
+	// negative disables.
+	MaxStoredBytes int64
+	// TenantShards bounds how many shard-pool slots one tenant's
+	// segment replays may hold at once, so a tenant with a giant queued
+	// backlog cannot monopolize the pool. 0 means the pool size
+	// (no per-tenant narrowing); negative disables.
+	TenantShards int
+	// RateBytesPerSec refills a per-tenant token bucket charged by
+	// submitted trace bytes; an empty bucket rejects the submit with
+	// 429 + Retry-After. 0 disables rate limiting.
+	RateBytesPerSec int64
+	// BurstBytes is the bucket capacity. Defaults to 4×RateBytesPerSec
+	// (min one default segment) when rate limiting is on.
+	BurstBytes int64
+}
+
+// withDefaults returns cfg with zero fields defaulted.
+func (c QuotaConfig) withDefaults() QuotaConfig {
+	if c.MaxQueuedJobs == 0 {
+		c.MaxQueuedJobs = 64
+	}
+	if c.MaxStoredBytes == 0 {
+		c.MaxStoredBytes = 4 << 30
+	}
+	if c.RateBytesPerSec > 0 && c.BurstBytes <= 0 {
+		c.BurstBytes = 4 * c.RateBytesPerSec
+	}
+	return c
+}
+
+// quotaErr is a typed admission rejection: what ran out, and how long
+// the client should wait before retrying. It maps to 429 with a
+// Retry-After header.
+type quotaErr struct {
+	kind       string // "queued jobs", "stored bytes", "byte rate"
+	tenant     string
+	retryAfter time.Duration
+}
+
+func (e *quotaErr) Error() string {
+	return fmt.Sprintf("tenant %q over quota: %s exhausted (retry after %s)",
+		e.tenant, e.kind, e.retryAfter.Round(time.Second))
+}
+
+// tenantState is one tenant's live accounting: gauges for its queued
+// jobs and stored bytes, its token bucket, and its shard-slot
+// semaphore. Gauges move on job admission, deletion, and GC; the
+// semaphore is held around each segment replay.
+type tenantState struct {
+	jobs        int
+	storedBytes int64
+
+	// Token bucket, refilled lazily on each admit.
+	tokens   int64
+	lastFill time.Time
+
+	// shardSem narrows the global shard pool for this tenant; nil when
+	// TenantShards is disabled.
+	shardSem chan struct{}
+}
+
+// quotaTable tracks every tenant the daemon has seen. Tenants are
+// created on first use and never expire (their state is a few words).
+type quotaTable struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+func newQuotaTable(cfg QuotaConfig, poolWorkers int) *quotaTable {
+	cfg = cfg.withDefaults()
+	if cfg.TenantShards == 0 {
+		cfg.TenantShards = poolWorkers
+	}
+	return &quotaTable{cfg: cfg, tenants: make(map[string]*tenantState)}
+}
+
+// tenant returns (creating if needed) one tenant's state. Callers hold
+// q.mu only through the table's own methods.
+func (q *quotaTable) tenant(name string) *tenantState {
+	t, ok := q.tenants[name]
+	if !ok {
+		t = &tenantState{tokens: q.cfg.BurstBytes, lastFill: time.Now()}
+		if q.cfg.TenantShards > 0 {
+			t.shardSem = make(chan struct{}, q.cfg.TenantShards)
+		}
+		q.tenants[name] = t
+	}
+	return t
+}
+
+// admit charges one job submission of byteEstimate against tenant's
+// quotas: the queued-jobs gauge, the stored-bytes gauge, and the token
+// bucket. On success the job gauge is already incremented (settle with
+// charge, then releaseSlot/releaseBytes); on failure a *quotaErr
+// describes the exhausted resource.
+func (q *quotaTable) admit(tenant string, byteEstimate int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(tenant)
+
+	if q.cfg.MaxQueuedJobs > 0 && t.jobs >= q.cfg.MaxQueuedJobs {
+		return &quotaErr{kind: "queued jobs", tenant: tenant, retryAfter: 5 * time.Second}
+	}
+	if q.cfg.MaxStoredBytes > 0 && t.storedBytes+byteEstimate > q.cfg.MaxStoredBytes {
+		return &quotaErr{kind: "stored bytes", tenant: tenant, retryAfter: 30 * time.Second}
+	}
+	if q.cfg.RateBytesPerSec > 0 {
+		now := time.Now()
+		refill := int64(now.Sub(t.lastFill).Seconds() * float64(q.cfg.RateBytesPerSec))
+		if refill > 0 {
+			t.tokens = min(t.tokens+refill, q.cfg.BurstBytes)
+			t.lastFill = now
+		}
+		if t.tokens < byteEstimate {
+			wait := time.Duration(float64(byteEstimate-t.tokens)/float64(q.cfg.RateBytesPerSec)*float64(time.Second)) + time.Second
+			return &quotaErr{kind: "byte rate", tenant: tenant, retryAfter: wait}
+		}
+		t.tokens -= byteEstimate
+	}
+	t.jobs++
+	return nil
+}
+
+// charge settles a submitted job's actual stored bytes (known only
+// after the splitter has run) against the tenant's gauge, and debits
+// the token bucket for any bytes beyond the admission estimate (the
+// bucket may go negative; the tenant pays it back through refill).
+func (q *quotaTable) charge(tenant string, storedBytes, estimate int64) {
+	q.mu.Lock()
+	t := q.tenant(tenant)
+	t.storedBytes += storedBytes
+	if q.cfg.RateBytesPerSec > 0 && storedBytes > estimate {
+		t.tokens -= storedBytes - estimate
+	}
+	q.mu.Unlock()
+}
+
+// releaseSlot returns a job's queue slot: called when the job reaches a
+// terminal state. Its stored bytes stay charged until releaseBytes, so
+// a tenant cannot park unlimited finished results in the store.
+func (q *quotaTable) releaseSlot(tenant string) {
+	q.mu.Lock()
+	t := q.tenant(tenant)
+	if t.jobs > 0 {
+		t.jobs--
+	}
+	q.mu.Unlock()
+}
+
+// releaseBytes returns a deleted or GC-expired job's stored bytes.
+func (q *quotaTable) releaseBytes(tenant string, storedBytes int64) {
+	q.mu.Lock()
+	t := q.tenant(tenant)
+	t.storedBytes -= storedBytes
+	if t.storedBytes < 0 {
+		t.storedBytes = 0
+	}
+	q.mu.Unlock()
+}
+
+// restore rebuilds a tenant's gauges from a manifest at daemon restart:
+// the stored bytes always, plus a queue slot when the job is live
+// (queued or running).
+func (q *quotaTable) restore(tenant string, storedBytes int64, live bool) {
+	q.mu.Lock()
+	t := q.tenant(tenant)
+	t.storedBytes += storedBytes
+	if live {
+		t.jobs++
+	}
+	q.mu.Unlock()
+}
+
+// shardSem returns the tenant's shard-slot semaphore (nil = unlimited).
+func (q *quotaTable) shardSem(tenant string) chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tenant(tenant).shardSem
+}

@@ -41,13 +41,10 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -103,31 +100,66 @@ type Config struct {
 	// analysis falls back to a single streamed replay. Defaults to
 	// 32 MiB.
 	MaxSegmentBytes int
+	// StoreDir roots the persistent trace store (segments + job
+	// manifests). Empty means an ephemeral store in a fresh temp
+	// directory, removed by Close — jobs then do not survive restarts.
+	StoreDir string
+	// StoreTTL bounds how long a finished job (done, failed, or
+	// canceled) stays in the store before GC reclaims its manifest and
+	// unshared segments. Defaults to 1h; negative keeps jobs forever.
+	StoreTTL time.Duration
+	// GCInterval is the store garbage-collection period. 0 disables the
+	// background sweeper (GC then only happens via explicit Sweep calls
+	// and job deletion).
+	GCInterval time.Duration
+	// Quota bounds each tenant's queued jobs, stored bytes, submit byte
+	// rate, and concurrent shard slots. See QuotaConfig for defaults.
+	Quota QuotaConfig
 	// Log receives one line per analysis; nil disables.
 	Log *log.Logger
 }
 
-// Server is the spd3d request handler plus its admission control and
-// counters. Create with New; serve via Handler.
+// Server is the spd3d request handler plus its admission control,
+// job table, trace store, and counters. Create with Open (or New,
+// which panics on store failure); serve via Handler; pair Drain with
+// http.Server.Shutdown; Close when done.
 type Server struct {
 	cfg      Config
 	rec      *stats.Recorder // srv.* counters, sharded by request sequence
 	reqSeq   atomic.Int64
 	sem      chan struct{}
 	pool     *shardPool // nil when sharding is disabled
+	store    *Store
+	quotas   *quotaTable
 	peakHeap atomic.Uint64
 	start    time.Time
 	mux      *http.ServeMux
 
-	mu       sync.Mutex
-	draining bool
-	active   int
-	idle     chan struct{}  // non-nil while a Drain waits for active==0
-	agg      stats.Snapshot // analysis counters merged across requests
+	// storeEphemeral marks a store New created in a temp directory;
+	// Close removes it.
+	storeEphemeral bool
+	// killed simulates an abrupt daemon death for restart testing: set
+	// by Kill, it stops all manifest persistence so the on-disk state
+	// freezes exactly as a SIGKILL would leave it.
+	killed atomic.Bool
+	gcStop chan struct{}
+	gcDone chan struct{}
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+
+	mu          sync.Mutex
+	draining    bool
+	active      int            // in-flight HTTP analyses (the /v1 shim and admission gate)
+	runningJobs int            // jobs currently executing; Drain waits for these too
+	idle        chan struct{}  // non-nil while a Drain waits for idleness
+	agg         stats.Snapshot // analysis counters merged across requests
 }
 
-// New returns a Server with cfg's zero fields defaulted.
-func New(cfg Config) *Server {
+// Open returns a Server with cfg's zero fields defaulted, its store
+// opened (resuming any jobs a previous daemon left queued or running),
+// and its GC sweeper started when configured.
+func Open(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
 	}
@@ -152,21 +184,193 @@ func New(cfg Config) *Server {
 	if cfg.MaxSegmentBytes <= 0 {
 		cfg.MaxSegmentBytes = 32 << 20
 	}
+	if cfg.StoreTTL == 0 {
+		cfg.StoreTTL = time.Hour
+	}
 	s := &Server{
 		cfg:   cfg,
 		rec:   stats.New(0),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 		mux:   http.NewServeMux(),
+		jobs:  map[string]*Job{},
 	}
 	if cfg.ShardWorkers > 0 {
 		s.pool = newShardPool(cfg.ShardWorkers)
 	}
+	s.quotas = newQuotaTable(cfg.Quota, cfg.ShardWorkers)
+	dir := cfg.StoreDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "spd3d-store-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = tmp
+		s.storeEphemeral = true
+	}
+	store, err := openStore(dir)
+	if err != nil {
+		if s.storeEphemeral {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	s.store = store
+
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /v1/detectors", s.handleDetectors)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v2/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+
+	if err := s.resumeJobs(); err != nil {
+		return nil, err
+	}
+	if cfg.GCInterval > 0 {
+		s.gcStop = make(chan struct{})
+		s.gcDone = make(chan struct{})
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// New returns a Server with cfg's zero fields defaulted. It panics if
+// the trace store cannot be opened; use Open to handle that error.
+func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
 	return s
+}
+
+// resumeJobs rebuilds the job table from the manifests a previous
+// daemon left behind. Terminal jobs come back as poll-able results;
+// queued or running jobs are re-queued and re-executed — the replay is
+// a pure function of the stored segments, so re-running a job that
+// died mid-replay is always sound.
+func (s *Server) resumeJobs() error {
+	manifests, err := s.store.LoadManifests()
+	if err != nil {
+		return err
+	}
+	sh := s.shard()
+	for _, m := range manifests {
+		j := &Job{
+			m:        m,
+			cancelCh: make(chan struct{}),
+			done:     make(chan struct{}),
+			subs:     map[chan jobEvent]struct{}{},
+		}
+		live := !terminalState(m.State)
+		s.quotas.restore(m.Tenant, m.StoredBytes(), live)
+		if !live {
+			j.slotFreed = true
+			close(j.done)
+			s.jobsMu.Lock()
+			s.jobs[m.ID] = j
+			s.jobsMu.Unlock()
+			continue
+		}
+		m.State = StateQueued
+		m.UpdatedAt = time.Now()
+		if err := s.store.WriteManifest(m); err != nil {
+			return err
+		}
+		s.jobsMu.Lock()
+		s.jobs[m.ID] = j
+		s.jobsMu.Unlock()
+		sh.Inc(stats.JobResumed)
+		sh.Inc(stats.JobQueued)
+		s.logf("job %s resumed tenant=%s detector=%s segments=%d",
+			m.ID, m.Tenant, m.Detector, len(m.Segments))
+		go s.runJob(j)
+	}
+	return nil
+}
+
+// gcLoop is the background store sweeper: every GCInterval it expires
+// finished jobs older than StoreTTL and collects unreferenced blobs.
+func (s *Server) gcLoop() {
+	defer close(s.gcDone)
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.GC()
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// GC runs one garbage-collection pass: jobs in a terminal state whose
+// manifests are older than StoreTTL are deleted (releasing their quota
+// bytes), then unreferenced blobs are swept from the CAS.
+func (s *Server) GC() (sweptJobs, sweptBlobs int) {
+	if ttl := s.cfg.StoreTTL; ttl > 0 {
+		now := time.Now()
+		s.jobsMu.Lock()
+		var expired []*Job
+		for _, j := range s.jobs {
+			if m := j.manifest(); terminalState(m.State) && now.Sub(m.UpdatedAt) > ttl {
+				expired = append(expired, j)
+			}
+		}
+		s.jobsMu.Unlock()
+		for _, j := range expired {
+			s.removeJob(j)
+			sweptJobs++
+		}
+	}
+	_, sweptBlobs, err := s.store.Sweep(0)
+	if err != nil {
+		s.logf("gc: %v", err)
+	}
+	sh := s.shard()
+	sh.Add(stats.StoreSweptJobs, int64(sweptJobs))
+	sh.Add(stats.StoreSweptBlobs, int64(sweptBlobs))
+	return sweptJobs, sweptBlobs
+}
+
+// Store exposes the server's trace store (for tests and tooling).
+func (s *Server) Store() *Store { return s.store }
+
+// Kill simulates an abrupt daemon death for restart testing: every job
+// is canceled and all further manifest persistence stops, so the
+// on-disk store freezes in whatever state a SIGKILL would have left it
+// — running manifests stay "running" and resume on the next Open.
+func (s *Server) Kill() {
+	s.killed.Store(true)
+	s.jobsMu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobsMu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+}
+
+// Close stops the GC sweeper and removes an ephemeral store. It does
+// not wait for running jobs; call Drain first for a graceful stop.
+func (s *Server) Close() error {
+	if s.gcStop != nil {
+		close(s.gcStop)
+		<-s.gcDone
+		s.gcStop = nil
+	}
+	if s.storeEphemeral {
+		return os.RemoveAll(s.store.root)
+	}
+	return nil
 }
 
 // Handler returns the daemon's HTTP handler; it counts every request
@@ -200,21 +404,52 @@ func (s *Server) begin() bool {
 func (s *Server) end() {
 	s.mu.Lock()
 	s.active--
-	if s.active == 0 && s.draining && s.idle != nil {
-		close(s.idle)
-		s.idle = nil
-	}
+	s.wakeDrainLocked()
 	s.mu.Unlock()
 }
 
+// beginJob admits one job execution into the drain set; false while
+// draining (the job then stays queued on disk and resumes at the next
+// Open). force overrides the draining refusal: a /v1 shim job's
+// surrounding request was already admitted by begin, so drain is
+// obliged to let its replay finish. Jobs are tracked separately from
+// active so InFlight keeps its /v1 meaning: HTTP analyses, not
+// background replays.
+func (s *Server) beginJob(force bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining && !force {
+		return false
+	}
+	s.runningJobs++
+	return true
+}
+
+// endJob retires one job execution.
+func (s *Server) endJob() {
+	s.mu.Lock()
+	s.runningJobs--
+	s.wakeDrainLocked()
+	s.mu.Unlock()
+}
+
+func (s *Server) wakeDrainLocked() {
+	if s.active == 0 && s.runningJobs == 0 && s.draining && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+}
+
 // Drain switches the server into draining mode — new analyze requests
-// are refused with 503, /healthz flips to 503 — and blocks until every
-// in-flight analysis has finished or ctx expires. It is the first half
-// of a graceful shutdown; pair it with http.Server.Shutdown.
+// and job submits are refused with 503, /healthz flips to 503 — and
+// blocks until every in-flight analysis and running job has finished
+// or ctx expires. Queued jobs that have not started stay queued on
+// disk and resume at the next Open. It is the first half of a graceful
+// shutdown; pair it with http.Server.Shutdown and Close.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
-	if s.active == 0 {
+	if s.active == 0 && s.runningJobs == 0 {
 		s.mu.Unlock()
 		return nil
 	}
@@ -308,6 +543,17 @@ type Statsz struct {
 	// sharding is disabled); ShardBusy its live occupancy.
 	ShardWorkers int `json:"shard_workers"`
 	ShardBusy    int `json:"shard_busy"`
+	// JobsQueued and JobsRunning are the job table's live states;
+	// JobsTotal counts every job the table knows, including finished
+	// ones awaiting TTL expiry.
+	JobsQueued  int `json:"jobs_queued"`
+	JobsRunning int `json:"jobs_running"`
+	JobsTotal   int `json:"jobs_total"`
+	// StoreBlobs and StoreBytes gauge the content-addressed trace
+	// store: distinct segments on disk and their total size (after
+	// dedup, so amplified traces show up far smaller than streamed).
+	StoreBlobs int   `json:"store_blobs"`
+	StoreBytes int64 `json:"store_bytes"`
 	// HeapAllocBytes and SysBytes are the Go runtime's live heap and
 	// total OS-claimed memory; PeakHeapBytes is the largest HeapAlloc
 	// the daemon has observed (sampled after every analysis and on
@@ -359,48 +605,6 @@ func statusFor(err error) int {
 	}
 }
 
-// analyzeOnce replays one trace stream into a fresh instance of the
-// named detector and folds the run's stats into the server aggregate.
-// It is the unit of work for both whole-trace replays and segment jobs.
-func (s *Server) analyzeOnce(name string, rd io.Reader, lim trace.Limits) (Verdict, stats.Snapshot, error) {
-	sink := detect.NewSink(false, s.cfg.MaxRacesPerReport)
-	rec := stats.New(1)
-	sink.SetStats(rec.Shard(0))
-	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec})
-	if err != nil {
-		return Verdict{}, stats.Snapshot{}, err
-	}
-	start := time.Now()
-	replayErr := trace.ReplayWithLimits(rd, det, lim)
-	dur := time.Since(start)
-
-	snap := rec.Snapshot()
-	snap.Footprint = det.Footprint()
-	s.mu.Lock()
-	s.agg.Merge(snap)
-	s.mu.Unlock()
-	if replayErr != nil {
-		return Verdict{}, snap, replayErr
-	}
-
-	races := sink.Races()
-	v := Verdict{
-		Detector:   name,
-		Racy:       !sink.Empty(),
-		RaceCount:  len(races),
-		Races:      make([]Race, 0, len(races)),
-		Capped:     sink.Capped(),
-		DurationMS: float64(dur) / float64(time.Millisecond),
-	}
-	for _, r := range races {
-		v.Races = append(v.Races, Race{Kind: r.Kind.String(), Region: r.Region, Index: r.Index, Prev: r.PrevStep, Cur: r.CurStep})
-	}
-	return v, snap, nil
-}
-
-// traceHeaderLen is magic plus the executor byte.
-const traceHeaderLen = len("SPD3TRC1") + 1
-
 // eligibleDetectors is differential mode's fan-out set: every
 // registered detector that can legally consume the trace
 // (sequential-only detectors join only for depth-first traces; the
@@ -416,6 +620,13 @@ func eligibleDetectors(sequential bool) []string {
 	return names
 }
 
+// handleAnalyze is the /v1 compatibility shim: it submits an ephemeral
+// job through exactly the /v2 pipeline (stream → spill → shard-pool
+// replay), waits for it inline, relays the result with /v1's status
+// mapping, and deletes the job. Every /v1 behavior — status codes,
+// counters, deadline cancellation, drain semantics — rides on the job
+// machinery, which is what makes the pre-redesign test suite a
+// compatibility oracle for it.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("detector")
 	if name == "" {
@@ -456,142 +667,70 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// poll catches cancellation whenever bytes are flowing.
 		http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout)) //nolint:errcheck // best-effort; ResponseWriters without deadlines still get the per-read poll
 	}
-
-	// The single counting limiter that replaced MaxBytesReader +
-	// io.ReadAll: the decoder pulls bytes through it incrementally, and
-	// overflow surfaces as trace.ErrLimit from inside the replay — the
-	// same errors.Is class, and so the same 413, as declared-resource
-	// limits. Nothing below this point holds the body in full.
-	limiter := trace.NewLimitedReader(r.Body, s.cfg.MaxBodyBytes)
-	body := bufio.NewReaderSize(trace.NewCancelReader(limiter, ctx.Done(), nil), 64<<10)
-
-	// Peek at the executor byte for the report and detector
-	// eligibility; header errors surface through the decode below.
-	head, _ := body.Peek(traceHeaderLen)
-	sequential := len(head) == traceHeaderLen && head[traceHeaderLen-1] == 1
-
-	lim := s.cfg.Limits
-	lim.Cancel = ctx.Done()
-	withStats := r.URL.Query().Get("stats") != ""
-	names := []string{name}
-	if name == "all" {
-		names = eligibleDetectors(sequential)
-	}
-
-	var (
-		verdicts []Verdict
-		segments int
-		firstErr error
-	)
-	sharded := s.pool != nil && r.URL.Query().Get("shard") != "off"
-	switch {
-	case sharded:
-		var sp *trace.Splitter
-		sp, firstErr = trace.NewSplitter(body, trace.SplitConfig{
-			MinSegmentBytes: s.cfg.MinSegmentBytes,
-			MaxSegmentBytes: s.cfg.MaxSegmentBytes,
-		})
-		if firstErr == nil {
-			verdicts, segments, firstErr = s.analyzeSharded(ctx, names, sp, lim, withStats)
-		}
-	case len(names) == 1:
-		// Sharding off, one detector: the body streams through a
-		// single replay; memory stays flat, with no segment buffering
-		// at all.
-		var (
-			v    Verdict
-			snap stats.Snapshot
-		)
-		v, snap, firstErr = s.analyzeOnce(names[0], body, lim)
-		if firstErr == nil {
-			if withStats {
-				v.Stats = &snap
-			}
-			verdicts = []Verdict{v}
-		}
-	default:
-		// Sharding off, differential mode: several detectors must each
-		// consume the same bytes, so this is the one path that still
-		// buffers the body (bounded by the limiter) before fanning out
-		// concurrently.
-		var data []byte
-		data, firstErr = io.ReadAll(body)
-		if firstErr == nil {
-			verdicts, firstErr = s.analyzeAllBuffered(names, data, lim, withStats)
-		}
-	}
-
-	streamed := limiter.Count()
-	sh := s.shard()
-	sh.Add(stats.SrvBytesRead, streamed)
-	if sharded || len(names) == 1 {
-		sh.Add(stats.SrvStreamedBytes, streamed)
-	}
 	defer s.sampleMem()
 
-	if firstErr != nil {
+	j, err := s.submitJob(ctx, r.Body, submitOpts{
+		detector:  name,
+		tenant:    tenantOf(r),
+		withStats: r.URL.Query().Get("stats") != "",
+		shard:     s.pool != nil && r.URL.Query().Get("shard") != "off",
+		ephemeral: true,
+		estimate:  max(r.ContentLength, 0),
+	})
+	if err != nil {
 		// A failure on a canceled request reports as canceled even
 		// when the proximate error was a read deadline or a decode
 		// hiccup mid-abort: the deadline is the cause.
-		if errors.Is(firstErr, trace.ErrCanceled) || ctx.Err() != nil {
+		if errors.Is(err, trace.ErrCanceled) || ctx.Err() != nil {
 			s.shard().Inc(stats.SrvCanceled)
-			s.logf("analyze detector=%s bytes=%d: canceled (%v)", name, streamed, ctx.Err())
+			s.logf("analyze detector=%s: canceled (%v)", name, ctx.Err())
 			s.writeError(w, http.StatusGatewayTimeout, "analysis canceled: %v", ctx.Err())
 			return
 		}
-		s.logf("analyze detector=%s bytes=%d: %v", name, streamed, firstErr)
-		s.writeError(w, statusFor(firstErr), "%v", firstErr)
+		s.logf("analyze detector=%s: %v", name, err)
+		s.writeSubmitError(w, err)
+		return
+	}
+	// The job never outlives the request: whatever state it ends in,
+	// its manifest and quota charge are released on the way out.
+	defer func() {
+		go func() {
+			<-j.done
+			s.removeJob(j)
+		}()
+	}()
+
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		// Deadline or client gone: cancel the replay through the same
+		// Limits.Cancel plumbing a /v2 DELETE uses and answer 504 now —
+		// the replay stops at its next cancellation poll.
+		j.cancel()
+		s.shard().Inc(stats.SrvCanceled)
+		s.logf("analyze detector=%s: canceled (%v)", name, ctx.Err())
+		s.writeError(w, http.StatusGatewayTimeout, "analysis canceled: %v", ctx.Err())
 		return
 	}
 
-	rep := &Report{
-		Tool:       Tool,
-		Version:    Version,
-		Detector:   name,
-		Sequential: sequential,
-		TraceBytes: streamed,
-		Verdicts:   verdicts,
-		Sharded:    sharded,
-		Segments:   segments,
-	}
-	if name == "all" {
-		agree := true
-		for _, v := range rep.Verdicts {
-			agree = agree && v.Racy == rep.Verdicts[0].Racy
+	m := j.manifest()
+	switch m.State {
+	case StateDone:
+		s.logf("analyze detector=%s bytes=%d segments=%d verdicts=%d racy=%v",
+			name, m.TraceBytes, len(m.Segments), len(m.Result.Verdicts), m.Result.Verdicts[0].Racy)
+		s.writeJSON(w, http.StatusOK, m.Result)
+	case StateCanceled:
+		s.shard().Inc(stats.SrvCanceled)
+		s.logf("analyze detector=%s bytes=%d: canceled", name, m.TraceBytes)
+		s.writeError(w, http.StatusGatewayTimeout, "analysis canceled: %v", ctx.Err())
+	default:
+		status := m.ErrorStatus
+		if status == 0 {
+			status = http.StatusInternalServerError
 		}
-		rep.Agree = &agree
+		s.logf("analyze detector=%s bytes=%d: %s", name, m.TraceBytes, m.Error)
+		s.writeError(w, status, "%s", m.Error)
 	}
-	s.shard().Add(stats.SrvAnalyses, int64(len(rep.Verdicts)))
-	s.logf("analyze detector=%s bytes=%d segments=%d verdicts=%d racy=%v",
-		name, streamed, segments, len(rep.Verdicts), rep.Verdicts[0].Racy)
-	s.writeJSON(w, http.StatusOK, rep)
-}
-
-// analyzeAllBuffered fans one fully buffered trace out concurrently to
-// every named detector — the pre-streaming differential path, kept for
-// shard=off requests.
-func (s *Server) analyzeAllBuffered(names []string, data []byte, lim trace.Limits, withStats bool) ([]Verdict, error) {
-	verdicts := make([]Verdict, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			v, snap, err := s.analyzeOnce(name, bytes.NewReader(data), lim)
-			if err == nil && withStats {
-				v.Stats = &snap
-			}
-			verdicts[i], errs[i] = v, err
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return verdicts, nil
 }
 
 func (s *Server) handleDetectors(w http.ResponseWriter, r *http.Request) {
@@ -663,6 +802,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if s.pool != nil {
 		shardWorkers, shardBusy = s.pool.Workers(), s.pool.Busy()
 	}
+	var queued, running, total int
+	s.jobsMu.Lock()
+	for _, j := range s.jobs {
+		total++
+		switch j.manifest().State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	s.jobsMu.Unlock()
+	blobs, blobBytes := s.store.Blobs()
 	s.writeJSON(w, http.StatusOK, Statsz{
 		Tool:           Tool,
 		Version:        Version,
@@ -672,6 +824,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Draining:       draining,
 		ShardWorkers:   shardWorkers,
 		ShardBusy:      shardBusy,
+		JobsQueued:     queued,
+		JobsRunning:    running,
+		JobsTotal:      total,
+		StoreBlobs:     blobs,
+		StoreBytes:     blobBytes,
 		HeapAllocBytes: heapAlloc,
 		SysBytes:       sys,
 		PeakHeapBytes:  s.peakHeap.Load(),

@@ -1,15 +1,10 @@
 package server
 
 import (
-	"bytes"
 	"context"
-	"errors"
-	"io"
 	"sync"
-	"time"
 
 	"spd3/internal/stats"
-	"spd3/internal/trace"
 )
 
 // shardPool bounds how many segment replays may run at once across the
@@ -66,11 +61,13 @@ type raceKey struct {
 	index  int
 }
 
-// mergedVerdict accumulates one detector's per-segment results. The
-// segment boundary invariant (everything before a cut happens before
-// everything after it) makes the merge a plain union: a trace is racy
-// iff some segment is, and every race pairs two accesses inside a
-// single segment, so nothing is lost to the cuts.
+// mergedVerdict accumulates one detector's per-segment results across
+// a job's fan-out (see Job.addRace). The segment boundary invariant
+// (everything before a cut happens before everything after it) makes
+// the merge a plain union: a trace is racy iff some segment is, and
+// every race pairs two accesses inside a single segment, so nothing is
+// lost to the cuts. Races recurring across segments (the same program
+// point relocated, e.g. by an amplified trace) deduplicate by raceKey.
 type mergedVerdict struct {
 	detector string
 	racy     bool
@@ -79,158 +76,4 @@ type mergedVerdict struct {
 	count    int
 	capped   bool
 	stats    stats.Snapshot
-}
-
-// merge folds one segment's verdict and stats in, deduplicating races
-// that recur across segments (the same program point relocated, e.g.
-// by an amplified trace) and capping the carried list at maxRaces.
-func (m *mergedVerdict) merge(v Verdict, snap stats.Snapshot, maxRaces int) {
-	m.racy = m.racy || v.Racy
-	m.capped = m.capped || v.Capped
-	m.stats.Merge(snap)
-	for _, r := range v.Races {
-		k := raceKey{r.Kind, r.Region, r.Index}
-		if _, dup := m.seen[k]; dup {
-			continue
-		}
-		m.seen[k] = struct{}{}
-		m.count++
-		if len(m.races) < maxRaces {
-			m.races = append(m.races, r)
-		} else {
-			m.capped = true
-		}
-	}
-}
-
-// analyzeSharded drives the sharded analyze path: it pulls finish-scope
-// segments off the splitter and fans each one out to a fresh instance
-// of every requested detector through the bounded shard pool, merging
-// per-segment verdicts, race lists, and stats snapshots as workers
-// finish. Differential mode shards per detector simply by carrying
-// several names. When one finish scope outgrows the segment cap the
-// trace cannot be cut soundly, so the remainder unsplits into a single
-// streamed replay (per detector) instead of buffering without bound.
-//
-// The ctx doubles as the cancellation signal: it is polled on every
-// segment boundary here, inside each replay via lim.Cancel, and by the
-// CancelReader feeding the splitter.
-func (s *Server) analyzeSharded(ctx context.Context, names []string, sp *trace.Splitter, lim trace.Limits, withStats bool) ([]Verdict, int, error) {
-	start := time.Now()
-	acc := make([]*mergedVerdict, len(names))
-	for i, n := range names {
-		acc[i] = &mergedVerdict{detector: n, seen: map[raceKey]struct{}{}, races: []Race{}}
-	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	setErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-	segJob := func(m *mergedVerdict, rd io.Reader) {
-		v, snap, err := s.analyzeOnce(m.detector, rd, lim)
-		if err != nil {
-			setErr(err)
-			return
-		}
-		mu.Lock()
-		m.merge(v, snap, s.cfg.MaxRacesPerReport)
-		mu.Unlock()
-	}
-	busy := s.shard()
-	segments := 0
-
-loop:
-	for {
-		select {
-		case <-ctx.Done():
-			setErr(trace.ErrCanceled)
-			break loop
-		default:
-		}
-		seg, err := sp.Next()
-		switch {
-		case errors.Is(err, io.EOF):
-			break loop
-		case errors.Is(err, trace.ErrSegmentOversize):
-			// The current finish scope refuses to fit a segment:
-			// abandon sharding and stream the rest as one unit. The
-			// splitter's buffered prefix is replayed too, so nothing
-			// already consumed is lost.
-			s.shard().Inc(stats.SrvUnsplit)
-			s.shard().Inc(stats.TraceSegments)
-			segments++
-			rest := sp.Unsplit()
-			if len(names) == 1 {
-				segJob(acc[0], rest)
-			} else {
-				// Several detectors must each consume the remaining
-				// stream, so it has to be materialized once — bounded
-				// by the request's byte limiter, exactly the ceiling
-				// the pre-streaming server paid for every request.
-				data, rerr := io.ReadAll(rest)
-				if rerr != nil {
-					setErr(rerr)
-					break loop
-				}
-				for i := range acc {
-					m := acc[i]
-					if !s.pool.run(ctx, busy, &wg, func() { segJob(m, bytes.NewReader(data)) }) {
-						setErr(trace.ErrCanceled)
-						break loop
-					}
-				}
-			}
-			break loop
-		case err != nil:
-			setErr(err)
-			break loop
-		}
-		s.shard().Inc(stats.TraceSegments)
-		segments++
-		for i := range acc {
-			m := acc[i]
-			if !s.pool.run(ctx, busy, &wg, func() { segJob(m, bytes.NewReader(seg)) }) {
-				setErr(trace.ErrCanceled)
-				break loop
-			}
-		}
-		if failed() {
-			break
-		}
-	}
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, segments, firstErr
-	}
-	wall := float64(time.Since(start)) / float64(time.Millisecond)
-	verdicts := make([]Verdict, len(acc))
-	for i, m := range acc {
-		verdicts[i] = Verdict{
-			Detector:   m.detector,
-			Racy:       m.racy,
-			RaceCount:  m.count,
-			Races:      m.races,
-			Capped:     m.capped,
-			DurationMS: wall,
-		}
-		if withStats {
-			snap := m.stats
-			verdicts[i].Stats = &snap
-		}
-	}
-	return verdicts, segments, nil
 }

@@ -1,0 +1,412 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Job lifecycle states, as carried in manifests and the /v2 wire forms.
+// The machine is strictly forward: queued → running → one terminal state
+// (done, failed, or canceled). A daemon restart may move a job back from
+// running to queued — the replay is a pure function of the stored
+// segments, so re-running it is always sound.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminalState reports whether a job in this state will never change
+// again, which is what makes its manifest eligible for TTL expiry.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// SegmentRef names one stored trace segment by content hash. Jobs hold
+// ordered lists of these; the bytes live once in the CAS regardless of
+// how many segments (or jobs) share them — an amplified trace's repeated
+// finish scopes collapse to a single blob.
+type SegmentRef struct {
+	Hash  string `json:"hash"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Manifest is the durable record of one job: identity, input (segment
+// refs into the CAS), lifecycle state, and — once terminal — the error
+// or the full result envelope. It is the unit of crash recovery: a
+// manifest whose state is queued or running at daemon startup is
+// re-queued (the segments are still in the CAS), and a terminal manifest
+// serves /v2/jobs/{id}/result forever until the TTL sweep retires it.
+type Manifest struct {
+	ID         string       `json:"id"`
+	Tenant     string       `json:"tenant"`
+	Detector   string       `json:"detector"`
+	Sequential bool         `json:"sequential"`
+	WithStats  bool         `json:"with_stats,omitempty"`
+	Sharded    bool         `json:"sharded"`
+	Unsplit    bool         `json:"unsplit,omitempty"`
+	Segments   []SegmentRef `json:"segments"`
+	TraceBytes int64        `json:"trace_bytes"`
+	State      string       `json:"state"`
+	// Error and ErrorStatus record a failed job's cause and the HTTP
+	// status /result replays for it.
+	Error       string    `json:"error,omitempty"`
+	ErrorStatus int       `json:"error_status,omitempty"`
+	Result      *Report   `json:"result,omitempty"`
+	CreatedAt   time.Time `json:"created_at"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// StoredBytes returns the job's total stored segment bytes — the number
+// its tenant's stored-bytes quota is charged (before CAS dedup, so a
+// tenant cannot launder quota through self-similar traces).
+func (m *Manifest) StoredBytes() int64 {
+	var n int64
+	for _, ref := range m.Segments {
+		n += ref.Bytes
+	}
+	return n
+}
+
+// Store is the daemon's persistent trace store: a content-addressed
+// blob area for segments plus a manifest directory for jobs.
+//
+// Layout under root:
+//
+//	cas/<hh>/<hash>   segment blobs, named by their SHA-256, sharded
+//	                  by the first hash byte to keep directories small
+//	jobs/<id>.json    one manifest per job, written atomically
+//	tmp/              staging for both, same filesystem so rename is atomic
+//
+// Durability: blobs and manifests are fsync'd before the rename that
+// publishes them, so a crash leaves either the old state or the new one,
+// never a torn file. Leftover tmp entries from a crash are swept at
+// open. Blob space is reclaimed by mark-and-sweep (Sweep): a blob is
+// garbage when no manifest references it, and manifest TTL expiry is
+// what creates garbage.
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	blobs   map[string]int64 // hash → size, mirrors cas/ contents
+	bytes   int64            // sum of blobs
+	writers int              // in-flight submits; blocks blob sweeps
+}
+
+// openStore opens (creating if needed) a store rooted at dir and scans
+// the CAS to rebuild the in-memory blob index. Orphaned tmp files from
+// a crashed daemon are removed.
+func openStore(dir string) (*Store, error) {
+	s := &Store{root: dir, blobs: make(map[string]int64)}
+	for _, sub := range []string{"cas", "jobs", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	tmps, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range tmps {
+		os.Remove(filepath.Join(dir, "tmp", e.Name()))
+	}
+	err = filepath.WalkDir(filepath.Join(dir, "cas"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		s.blobs[d.Name()] = info.Size()
+		s.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning cas: %w", err)
+	}
+	return s, nil
+}
+
+// Blobs returns the CAS occupancy gauges: blob count and total bytes.
+func (s *Store) Blobs() (count int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs), s.bytes
+}
+
+// BeginWrite/EndWrite bracket a job submit. While any submit is in
+// flight, Sweep will not delete blobs: a segment is unreferenced between
+// its Put and the manifest write that names it, and this coarse guard is
+// what keeps a concurrent GC from collecting it in that window.
+func (s *Store) BeginWrite() {
+	s.mu.Lock()
+	s.writers++
+	s.mu.Unlock()
+}
+
+// EndWrite releases a BeginWrite.
+func (s *Store) EndWrite() {
+	s.mu.Lock()
+	s.writers--
+	s.mu.Unlock()
+}
+
+func (s *Store) blobPath(hash string) string {
+	return filepath.Join(s.root, "cas", hash[:2], hash)
+}
+
+// PutStream stores r's full contents as one blob, hashing while
+// spilling so nothing is held in memory, and returns its ref. dup
+// reports a CAS hit: the bytes were already stored (by this job's
+// earlier segments, another job, or a previous daemon run) and nothing
+// new was written.
+func (s *Store) PutStream(r io.Reader) (ref SegmentRef, dup bool, err error) {
+	f, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	if err != nil {
+		return SegmentRef{}, false, fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(f, h), r)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return SegmentRef{}, false, err
+	}
+	hash := hex.EncodeToString(h.Sum(nil))
+	ref = SegmentRef{Hash: hash, Bytes: n}
+
+	s.mu.Lock()
+	_, have := s.blobs[hash]
+	s.mu.Unlock()
+	if have {
+		f.Close()
+		os.Remove(tmp)
+		return ref, true, nil
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return SegmentRef{}, false, fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return SegmentRef{}, false, fmt.Errorf("store: %w", err)
+	}
+	dst := s.blobPath(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		os.Remove(tmp)
+		return SegmentRef{}, false, fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return SegmentRef{}, false, fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	if _, have := s.blobs[hash]; !have { // a racing Put of the same bytes is idempotent
+		s.blobs[hash] = n
+		s.bytes += n
+	}
+	s.mu.Unlock()
+	return ref, false, nil
+}
+
+// Put stores one in-memory segment. The hash is computed first, so a
+// CAS hit costs no I/O at all — the common case for amplified traces,
+// whose repeated finish scopes are byte-identical segments.
+func (s *Store) Put(data []byte) (ref SegmentRef, dup bool, err error) {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	ref = SegmentRef{Hash: hash, Bytes: int64(len(data))}
+
+	s.mu.Lock()
+	_, have := s.blobs[hash]
+	s.mu.Unlock()
+	if have {
+		return ref, true, nil
+	}
+	if err := s.putBytes(hash, data); err != nil {
+		return SegmentRef{}, false, err
+	}
+	return ref, false, nil
+}
+
+// putBytes writes data to tmp and publishes it under hash.
+func (s *Store) putBytes(hash string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	dst := s.blobPath(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	n := int64(len(data))
+	s.mu.Lock()
+	if _, have := s.blobs[hash]; !have {
+		s.blobs[hash] = n
+		s.bytes += n
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Open returns a reader over one stored segment.
+func (s *Store) Open(ref SegmentRef) (io.ReadCloser, error) {
+	return os.Open(s.blobPath(ref.Hash))
+}
+
+// WriteManifest persists m atomically: marshal to tmp, fsync, rename
+// over jobs/<id>.json. Every state transition goes through here, so the
+// on-disk manifest is always internally consistent.
+func (s *Store) WriteManifest(m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "man-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.manifestPath(m.ID)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) manifestPath(id string) string {
+	return filepath.Join(s.root, "jobs", id+".json")
+}
+
+// LoadManifests reads every job manifest on disk — the daemon's restart
+// path. Unparseable manifests are skipped, not fatal: one torn file
+// (impossible under the atomic write, but disks lie) must not brick the
+// store.
+func (s *Store) LoadManifests() ([]*Manifest, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []*Manifest
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.root, "jobs", e.Name()))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.ID == "" {
+			continue
+		}
+		out = append(out, &m)
+	}
+	return out, nil
+}
+
+// DeleteManifest removes one job's manifest. Its blobs become garbage
+// only if no other manifest references them; the next Sweep reclaims
+// those.
+func (s *Store) DeleteManifest(id string) error {
+	err := os.Remove(s.manifestPath(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Sweep is the store's garbage collector. It expires terminal manifests
+// older than ttl (by UpdatedAt; ttl <= 0 keeps all manifests), then
+// deletes every blob no remaining manifest references. The blob phase
+// is skipped while any submit is in flight (BeginWrite), because a
+// just-put segment is unreferenced until its manifest lands.
+func (s *Store) Sweep(ttl time.Duration) (sweptJobs, sweptBlobs int, err error) {
+	manifests, err := s.LoadManifests()
+	if err != nil {
+		return 0, 0, err
+	}
+	now := time.Now()
+	live := make(map[string]struct{})
+	for _, m := range manifests {
+		if ttl > 0 && terminalState(m.State) && now.Sub(m.UpdatedAt) > ttl {
+			if derr := s.DeleteManifest(m.ID); derr == nil {
+				sweptJobs++
+				continue
+			}
+		}
+		for _, ref := range m.Segments {
+			live[ref.Hash] = struct{}{}
+		}
+	}
+
+	s.mu.Lock()
+	if s.writers > 0 {
+		s.mu.Unlock()
+		return sweptJobs, 0, nil
+	}
+	var dead []string
+	for hash := range s.blobs {
+		if _, ok := live[hash]; !ok {
+			dead = append(dead, hash)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, hash := range dead {
+		if rerr := os.Remove(s.blobPath(hash)); rerr != nil && !os.IsNotExist(rerr) {
+			continue
+		}
+		s.mu.Lock()
+		if n, ok := s.blobs[hash]; ok {
+			delete(s.blobs, hash)
+			s.bytes -= n
+		}
+		s.mu.Unlock()
+		sweptBlobs++
+	}
+	return sweptJobs, sweptBlobs, nil
+}

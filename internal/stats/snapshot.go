@@ -152,6 +152,13 @@ func (s Snapshot) String() string {
 			fmt.Fprintf(&b, ", %d B streamed, %d segments", sb, segs)
 		}
 	}
+	if v := s.Get(JobSubmitted); v != 0 {
+		fmt.Fprintf(&b, " | job: %d submitted, %d done, %d failed, %d canceled",
+			v, s.Get(JobDone), s.Get(JobFailed), s.Get(JobCanceled))
+	}
+	if v := s.Get(StorePutBytes); v != 0 || s.Get(StoreDedupHits) != 0 {
+		fmt.Fprintf(&b, " | store: %d B put, %d dedup-hits", v, s.Get(StoreDedupHits))
+	}
 	fmt.Fprintf(&b, " | footprint: %d B", s.Footprint.Total())
 	return b.String()
 }

@@ -136,6 +136,44 @@ const (
 	// streamed replay of the remainder.
 	SrvUnsplit
 
+	// JobSubmitted counts jobs accepted by the async /v2/jobs API
+	// (including the v1 shim's ephemeral jobs).
+	JobSubmitted
+	// JobDone counts jobs that reached the done state.
+	JobDone
+	// JobFailed counts jobs that reached the failed state.
+	JobFailed
+	// JobCanceled counts jobs that reached the canceled state (DELETE,
+	// request deadline on the v1 shim, or client disconnect).
+	JobCanceled
+	// JobResumed counts jobs re-enqueued from the persistent store at
+	// daemon startup (they were queued or running when it last stopped).
+	JobResumed
+	// JobQueued is a gauge of jobs waiting to start: incremented on
+	// submit, decremented when the executor picks the job up.
+	JobQueued
+	// JobRunning is a gauge of jobs currently executing.
+	JobRunning
+	// JobSegmentReplays counts (segment, detector) replay units the job
+	// executor completed.
+	JobSegmentReplays
+	// StorePutBytes counts bytes physically written to the trace
+	// store's content-addressed blob area (dedup hits write nothing).
+	StorePutBytes
+	// StoreDedupHits counts segment spills that found their content
+	// hash already stored — an amplified trace's repeated bodies, or a
+	// load test re-submitting the same trace, collapse to one blob.
+	StoreDedupHits
+	// StoreSweptJobs counts job manifests removed by TTL garbage
+	// collection.
+	StoreSweptJobs
+	// StoreSweptBlobs counts unreferenced blobs removed by garbage
+	// collection.
+	StoreSweptBlobs
+	// QuotaDenied counts submissions refused with 429 by a per-tenant
+	// quota (queue depth, stored bytes, or the submission token bucket).
+	QuotaDenied
+
 	// NumCounters is the number of Counter values; not itself a
 	// counter.
 	NumCounters
@@ -169,6 +207,19 @@ var counterNames = [NumCounters]string{
 	TraceSegments:        "trace.segments",
 	SrvShardBusy:         "srv.shard_workers_busy",
 	SrvUnsplit:           "srv.unsplit",
+	JobSubmitted:         "job.submitted",
+	JobDone:              "job.done",
+	JobFailed:            "job.failed",
+	JobCanceled:          "job.canceled",
+	JobResumed:           "job.resumed",
+	JobQueued:            "job.queued",
+	JobRunning:           "job.running",
+	JobSegmentReplays:    "job.segment_replays",
+	StorePutBytes:        "store.put_bytes",
+	StoreDedupHits:       "store.dedup_hits",
+	StoreSweptJobs:       "store.swept_jobs",
+	StoreSweptBlobs:      "store.swept_blobs",
+	QuotaDenied:          "quota.denied",
 }
 
 // String returns the counter's stable wire name.

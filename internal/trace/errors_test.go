@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"testing"
@@ -67,6 +68,51 @@ func TestTypedErrors(t *testing.T) {
 	lim := Limits{MaxRegionElems: 2, MaxTotalElems: 2}
 	if err := ReplayWithLimits(bytes.NewReader(seq), mk(), lim); !errors.Is(err, ErrLimit) {
 		t.Errorf("tiny limits: err = %v, want ErrLimit", err)
+	}
+}
+
+// TestPeekHeader pins the non-consuming header probe the job store uses
+// before spilling an unsplittable trace to disk: classification must
+// match newDecoder exactly, and the reader must be left untouched so the
+// subsequent full replay still sees the magic.
+func TestPeekHeader(t *testing.T) {
+	seq := record(t, progen.Generate(1, progen.Config{}), task.Sequential, 1)
+	par := record(t, progen.Generate(1, progen.Config{}), task.Pool, 4)
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSeq bool
+		wantErr error
+	}{
+		{"sequential trace", seq, true, nil},
+		{"parallel trace", par, false, nil},
+		{"empty input", nil, false, ErrBadMagic},
+		{"wrong magic", []byte("NOTATRACE"), false, ErrBadMagic},
+		{"short header", []byte("SPD3"), false, ErrBadMagic},
+		{"missing executor byte", []byte(magic), false, ErrTruncated},
+	}
+	for _, c := range cases {
+		br := bufio.NewReader(bytes.NewReader(c.data))
+		gotSeq, err := PeekHeader(br)
+		if c.wantErr != nil {
+			if !errors.Is(err, c.wantErr) {
+				t.Errorf("%s: err = %v, want errors.Is(err, %v)", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: err = %v", c.name, err)
+			continue
+		}
+		if gotSeq != c.wantSeq {
+			t.Errorf("%s: sequential = %v, want %v", c.name, gotSeq, c.wantSeq)
+		}
+		// The peek must not consume: a full replay still works.
+		mk := core.New(detect.NewSink(false, 0), core.SyncCAS)
+		if rerr := Replay(br, mk); rerr != nil {
+			t.Errorf("%s: replay after peek: %v", c.name, rerr)
+		}
 	}
 }
 

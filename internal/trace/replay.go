@@ -147,6 +147,33 @@ func newDecoder(rd io.Reader) (*decoder, error) {
 	return &decoder{br: br, sequential: seqByte == 1}, nil
 }
 
+// HeaderLen is the byte length of a trace header: the magic followed by
+// the executor byte.
+const HeaderLen = len(magic) + 1
+
+// PeekHeader validates the trace header at the front of br without
+// consuming it and reports the executor byte: true means the trace was
+// recorded depth-first, so sequential-only detectors may consume it.
+// Errors are the same sentinel classes newDecoder returns, so callers
+// (the spd3d job store spilling an unsplit trace to disk) classify bad
+// uploads identically whether or not the splitter is in the path.
+func PeekHeader(br *bufio.Reader) (sequential bool, err error) {
+	head, err := br.Peek(HeaderLen)
+	if err != nil {
+		if len(head) < len(magic) {
+			return false, fmt.Errorf("trace: %w: %d-byte input", ErrBadMagic, len(head))
+		}
+		if string(head[:len(magic)]) != magic {
+			return false, fmt.Errorf("trace: %w: header %q", ErrBadMagic, head[:len(magic)])
+		}
+		return false, readErr("missing executor byte", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return false, fmt.Errorf("trace: %w: header %q", ErrBadMagic, head[:len(magic)])
+	}
+	return head[len(magic)] == 1, nil
+}
+
 // readErr classifies a mid-stream read failure. Errors that already
 // carry a trace sentinel — ErrLimit from a LimitedReader, ErrCanceled
 // from a CancelReader wrapped around the input — pass through so the

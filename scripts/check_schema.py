@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a schema in docs/schema/.
+
+Stdlib-only on purpose (CI has no jsonschema package): implements the
+small JSON-Schema subset those files use — type (string or list of
+strings), enum, required, properties, items, minimum. Unknown schema
+keywords are ignored, unknown *instance* keys are allowed (the server
+may grow its envelopes; the schema pins what must stay).
+
+Usage: check_schema.py SCHEMA.json INSTANCE.json
+       check_schema.py SCHEMA.json -          # instance on stdin
+Exits non-zero with a path-qualified message on the first violation.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    py = TYPES[name]
+    if isinstance(value, bool):  # bool is an int subclass; keep them distinct
+        return name == "boolean"
+    return isinstance(value, py)
+
+
+def check(schema, value, path):
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(type_ok(value, n) for n in names):
+            fail(path, f"type is {json.dumps(value)[:60]}, want {' or '.join(names)}")
+        if value is None:
+            return  # a permitted null has no members to descend into
+    if "enum" in schema and value not in schema["enum"]:
+        fail(path, f"{json.dumps(value)} not in enum {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required member {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(sub, value[key], f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(schema["items"], item, f"{path}[{i}]")
+
+
+def fail(path, msg):
+    sys.exit(f"schema violation at {path}: {msg}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    if sys.argv[2] == "-":
+        instance = json.load(sys.stdin)
+    else:
+        with open(sys.argv[2]) as f:
+            instance = json.load(f)
+    check(schema, instance, "$")
+    print(f"ok: {sys.argv[2]} conforms to {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()
