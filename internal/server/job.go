@@ -100,6 +100,11 @@ type Job struct {
 	ephemeral bool
 	// slotFreed guards the one-time release of the tenant's queue slot.
 	slotFreed bool
+	// noExec marks a queued job whose executor was refused because the
+	// server was draining: nothing in this process will ever run it (it
+	// resumes at the next Open), so DELETE removes it outright instead
+	// of issuing a cancellation no replay will observe.
+	noExec bool
 }
 
 // cancel requests cancellation; the replay observes it at its next
@@ -403,11 +408,19 @@ func (s *Server) submitJob(ctx context.Context, body io.Reader, opts submitOpts)
 		CreatedAt:  now,
 		UpdatedAt:  now,
 	}
+	// Settle the real stored bytes before the manifest lands: a refusal
+	// here (the upload's true size only became known during the spill)
+	// leaves no manifest behind, so the spilled blobs are garbage for
+	// the next sweep and the tenant's gauge never overshoots.
+	if err := s.quotas.charge(opts.tenant, m.StoredBytes(), opts.estimate); err != nil {
+		sh.Inc(stats.QuotaDenied)
+		return nil, err
+	}
 	if err := s.store.WriteManifest(m); err != nil {
+		s.quotas.releaseBytes(opts.tenant, m.StoredBytes())
 		return nil, err
 	}
 	admitted = true
-	s.quotas.charge(opts.tenant, m.StoredBytes(), opts.estimate)
 
 	j := &Job{
 		m:         m,
@@ -461,6 +474,9 @@ func (s *Server) runJob(j *Job) {
 	if !s.beginJob(j.ephemeral) {
 		// Draining: the job stays queued on disk and resumes when the
 		// next daemon opens the store.
+		j.mu.Lock()
+		j.noExec = true
+		j.mu.Unlock()
 		return
 	}
 	defer s.endJob()
@@ -613,20 +629,26 @@ func (j *Job) addRace(di int, r detect.Race, maxRaces int) {
 // (skipped after Kill, simulating a daemon that died mid-replay), and
 // settles counters and quota.
 func (s *Server) finalizeJob(j *Job, names []string, runErr error, wall time.Duration) {
+	// The terminal state is computed on a copy and persisted to disk
+	// BEFORE it becomes visible through the in-memory job: a poller that
+	// saw "done" could DELETE immediately, and if that removal's
+	// DeleteManifest ran before this write, the write would resurrect a
+	// manifest no table entry owns — invisible to /statsz, never TTL
+	// expired, pinning its blobs against every future sweep.
 	j.mu.Lock()
-	m := j.m
-	m.UpdatedAt = time.Now()
+	man := *j.m
+	man.UpdatedAt = time.Now()
 	var verdicts []Verdict
 	switch {
 	case runErr != nil && errors.Is(runErr, trace.ErrCanceled):
-		m.State = StateCanceled
-		m.Error = "analysis canceled"
+		man.State = StateCanceled
+		man.Error = "analysis canceled"
 	case runErr != nil:
-		m.State = StateFailed
-		m.Error = runErr.Error()
-		m.ErrorStatus = statusFor(runErr)
+		man.State = StateFailed
+		man.Error = runErr.Error()
+		man.ErrorStatus = statusFor(runErr)
 	default:
-		m.State = StateDone
+		man.State = StateDone
 		ms := float64(wall) / float64(time.Millisecond)
 		verdicts = make([]Verdict, len(j.acc))
 		for i, acc := range j.acc {
@@ -639,7 +661,7 @@ func (s *Server) finalizeJob(j *Job, names []string, runErr error, wall time.Dur
 				DurationMS: ms,
 			}
 			sortWireRaces(verdicts[i].Races)
-			if m.WithStats {
+			if man.WithStats {
 				snap := acc.stats
 				verdicts[i].Stats = &snap
 			}
@@ -647,31 +669,38 @@ func (s *Server) finalizeJob(j *Job, names []string, runErr error, wall time.Dur
 		rep := &Report{
 			Tool:       Tool,
 			Version:    Version,
-			Detector:   m.Detector,
-			Sequential: m.Sequential,
-			TraceBytes: m.TraceBytes,
+			Detector:   man.Detector,
+			Sequential: man.Sequential,
+			TraceBytes: man.TraceBytes,
 			Verdicts:   verdicts,
-			Sharded:    m.Sharded,
+			Sharded:    man.Sharded,
 		}
-		if m.Sharded {
-			rep.Segments = len(m.Segments)
+		if man.Sharded {
+			rep.Segments = len(man.Segments)
 		}
-		if m.Detector == "all" {
+		if man.Detector == "all" {
 			agree := true
 			for _, v := range verdicts {
 				agree = agree && v.Racy == verdicts[0].Racy
 			}
 			rep.Agree = &agree
 		}
-		m.Result = rep
+		man.Result = rep
 	}
-	state := m.State
-	man := *m
+	j.mu.Unlock()
+
+	if !s.killed.Load() {
+		if err := s.store.WriteManifest(&man); err != nil {
+			s.logf("job %s: persisting terminal manifest: %v", man.ID, err)
+		}
+	}
+	j.mu.Lock()
+	*j.m = man
 	j.mu.Unlock()
 
 	sh := s.shard()
 	sh.Add(stats.JobRunning, -1)
-	switch state {
+	switch man.State {
 	case StateDone:
 		sh.Inc(stats.JobDone)
 		sh.Add(stats.SrvAnalyses, int64(len(verdicts)))
@@ -681,13 +710,10 @@ func (s *Server) finalizeJob(j *Job, names []string, runErr error, wall time.Dur
 		sh.Inc(stats.JobCanceled)
 	}
 	if !s.killed.Load() {
-		if err := s.store.WriteManifest(&man); err != nil {
-			s.logf("job %s: persisting terminal manifest: %v", man.ID, err)
-		}
 		s.releaseSlotOnce(j)
 	}
 	s.logf("job %s %s tenant=%s detector=%s segments=%d err=%v",
-		man.ID, state, man.Tenant, man.Detector, len(man.Segments), runErr)
+		man.ID, man.State, man.Tenant, man.Detector, len(man.Segments), runErr)
 	j.finish()
 	s.sampleMem()
 }
@@ -799,10 +825,13 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobsMu.Unlock()
 	list := JobList{Tool: Tool, Version: Version, Jobs: []JobStatus{}}
-	tenant := r.Header.Get("X-SPD3-Tenant")
+	// Same tenant mapping as submission: a missing header scopes the
+	// listing to "default" rather than exposing every tenant's job ids
+	// (which grant status/result/cancel access).
+	tenant := tenantOf(r)
 	for _, j := range jobs {
 		st := j.status()
-		if tenant != "" && st.Tenant != tenant {
+		if st.Tenant != tenant {
 			continue
 		}
 		list.Jobs = append(list.Jobs, st)
@@ -858,12 +887,31 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if m := j.manifest(); !terminalState(m.State) {
-		// Running or queued: DELETE is a cancellation request, routed
-		// through the same Limits.Cancel plumbing as /v1 deadlines. The
-		// job survives (state canceled) until deleted again.
-		j.cancel()
-		s.writeJSON(w, http.StatusAccepted, j.status())
-		return
+		// A queued job whose executor was refused during drain has no
+		// replay to observe a cancellation: finalize it to canceled here
+		// (exactly one request wins the queued→canceled transition) and
+		// fall through to removal, instead of leaving it non-terminal
+		// until the next daemon restart.
+		j.mu.Lock()
+		orphaned := j.m.State == StateQueued && j.noExec
+		if orphaned {
+			j.m.State = StateCanceled
+			j.m.Error = "analysis canceled"
+			j.m.UpdatedAt = time.Now()
+		}
+		j.mu.Unlock()
+		if !orphaned {
+			// Running or queued: DELETE is a cancellation request, routed
+			// through the same Limits.Cancel plumbing as /v1 deadlines.
+			// The job survives (state canceled) until deleted again.
+			j.cancel()
+			s.writeJSON(w, http.StatusAccepted, j.status())
+			return
+		}
+		sh := s.shard()
+		sh.Add(stats.JobQueued, -1)
+		sh.Inc(stats.JobCanceled)
+		j.finish()
 	}
 	s.removeJob(j)
 	w.WriteHeader(http.StatusNoContent)

@@ -2,12 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"spd3/internal/detect"
@@ -392,6 +395,272 @@ func TestStoreDedupAndSweep(t *testing.T) {
 	}
 	if n, b := s.Store().Blobs(); n != 0 || b != 0 {
 		t.Errorf("cas not empty after sweep: %d blobs / %d bytes", n, b)
+	}
+}
+
+// TestSweepVsSubmitRace hammers the GC/submit interleaving the sweep
+// must survive: a garbage blob sits in the CAS, a sweep runs, and a
+// concurrent submit dedups onto that same blob and publishes a manifest
+// naming it. Whatever order the two land in, the manifest's segment
+// must remain openable — the sweep may never delete a blob a live
+// manifest references (the resubmit-after-expiry case).
+func TestSweepVsSubmitRace(t *testing.T) {
+	st, err := openStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		data := []byte(fmt.Sprintf("segment-%d-payload", i))
+		// Orphan the blob first: stored, referenced by no manifest.
+		if _, _, err := st.Put(data); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, serr := st.Sweep(0); serr != nil {
+				t.Errorf("sweep: %v", serr)
+			}
+		}()
+		st.BeginWrite()
+		ref, _, err := st.Put(data)
+		if err != nil {
+			st.EndWrite()
+			t.Fatal(err)
+		}
+		m := &Manifest{ID: fmt.Sprintf("race-%d", i), Tenant: "default",
+			State: StateQueued, Segments: []SegmentRef{ref}}
+		if err := st.WriteManifest(m); err != nil {
+			st.EndWrite()
+			t.Fatal(err)
+		}
+		st.EndWrite()
+		wg.Wait()
+		rc, err := st.Open(ref)
+		if err != nil {
+			t.Fatalf("iteration %d: live blob swept out from under its manifest: %v", i, err)
+		}
+		got, _ := io.ReadAll(rc)
+		rc.Close()
+		if !bytes.Equal(got, data) {
+			t.Fatalf("iteration %d: blob content corrupted", i)
+		}
+		if err := st.DeleteManifest(m.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// listJobs fetches GET /v2/jobs with an optional tenant header.
+func listJobs(t *testing.T, base, tenant string) *JobList {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v2/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-SPD3-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var list JobList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	return &list
+}
+
+// TestJobListTenantScope pins the listing's tenant mapping to the
+// submit side's: no header means the "default" tenant, never a
+// cross-tenant view — job ids grant status/result/cancel access, so a
+// headerless GET /v2/jobs must not enumerate other tenants' jobs.
+func TestJobListTenantScope(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, ShardWorkers: 2})
+	defer s.Close()
+	tr := recordRacyMonteCarlo(t)
+
+	resp, body := submitV2(t, ts.URL, "?detector=spd3", "", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("default submit = %d\n%s", resp.StatusCode, body)
+	}
+	defID := decodeJobStatus(t, body).ID
+	resp, body = submitV2(t, ts.URL, "?detector=spd3", "tenant-x", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-x submit = %d\n%s", resp.StatusCode, body)
+	}
+	xID := decodeJobStatus(t, body).ID
+
+	noHeader := listJobs(t, ts.URL, "")
+	if len(noHeader.Jobs) != 1 || noHeader.Jobs[0].ID != defID || noHeader.Jobs[0].Tenant != "default" {
+		t.Errorf("headerless list leaked across tenants: %+v", noHeader.Jobs)
+	}
+	asX := listJobs(t, ts.URL, "tenant-x")
+	if len(asX.Jobs) != 1 || asX.Jobs[0].ID != xID {
+		t.Errorf("tenant-x list = %+v, want exactly its own job", asX.Jobs)
+	}
+}
+
+// TestChunkedSubmitStoredBytesQuota closes the chunked-upload quota
+// hole: with no Content-Length the admission estimate is 0, so the
+// stored-bytes ceiling must be re-checked when the spill's real size is
+// settled. The oversized chunked submit is refused with 429, the
+// tenant's gauge stays uncharged (a small follow-up submit succeeds),
+// and the refused upload's blobs are sweepable garbage.
+func TestChunkedSubmitStoredBytesQuota(t *testing.T) {
+	base := recordRacyMonteCarlo(t)
+	s, ts := newTestServer(t, Config{
+		MaxInFlight:     2,
+		ShardWorkers:    2,
+		MinSegmentBytes: 1 << 10,
+		Quota:           QuotaConfig{MaxStoredBytes: int64(2 * len(base))},
+	})
+	defer s.Close()
+
+	amp, err := trace.NewAmplifier(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// postReader ships the amplifier chunked (unknown length), so the
+	// admit-time estimate is 0 and only the settle can refuse it.
+	resp, body := postReader(t, ts.URL+"/v2/jobs?detector=spd3", amp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized chunked submit = %d, want 429\n%s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if len(listJobs(t, ts.URL, "").Jobs) != 0 {
+		t.Error("refused submit left a job behind")
+	}
+
+	// The failed settle must not have charged the gauge: a submit that
+	// fits the ceiling goes through.
+	resp, body = postReader(t, ts.URL+"/v2/jobs?detector=spd3", struct{ io.Reader }{bytes.NewReader(base)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("in-quota submit after refusal = %d (gauge leaked?)\n%s", resp.StatusCode, body)
+	}
+	id := decodeJobStatus(t, body).ID
+	waitFor(t, func() bool { return jobState(s, id) == StateDone }, "in-quota job done")
+
+	// The refused upload's spilled blobs have no manifest: one GC pass
+	// after deleting the good job empties the CAS.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+id, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	s.GC()
+	if n, b := s.Store().Blobs(); n != 0 || b != 0 {
+		t.Errorf("refused submit's blobs not reclaimed: %d blobs / %d bytes", n, b)
+	}
+}
+
+// TestDrainOrphanedQueuedJobDelete covers the drain-refused executor:
+// a job submitted while the server drains stays queued with nothing to
+// observe a cancellation, so DELETE must remove it outright (manifest
+// gone, quota released) rather than answering 202 forever.
+func TestDrainOrphanedQueuedJobDelete(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, ShardWorkers: 2})
+	defer s.Close()
+	tr := recordRacyMonteCarlo(t)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The HTTP handler refuses submits while draining, so inject the
+	// job underneath it — the executor then refuses it at beginJob.
+	j, err := s.submitJob(context.Background(), bytes.NewReader(tr), submitOpts{
+		detector: "spd3", tenant: "default",
+		shard: s.pool != nil, estimate: int64(len(tr)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j.manifest().ID
+	waitFor(t, func() bool {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.noExec
+	}, "executor to refuse the job")
+	if st := jobState(s, id); st != StateQueued {
+		t.Fatalf("job state = %s, want queued", st)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+id, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete of orphaned queued job = %d, want 204", del.StatusCode)
+	}
+	if s.lookupJob(id) != nil {
+		t.Error("orphaned job still in table after delete")
+	}
+	manifests, err := s.Store().LoadManifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range manifests {
+		if m.ID == id {
+			t.Error("orphaned job's manifest survived delete")
+		}
+	}
+}
+
+// TestDeleteAfterDoneLeavesNoManifest hammers the done→DELETE window:
+// the moment a poller can observe state done, the terminal manifest
+// must already be on disk, so the DELETE that follows removes it for
+// good. (Before the write-then-publish ordering in finalizeJob, the
+// terminal WriteManifest could land after the DELETE's removal,
+// resurrecting a manifest no table entry owned — its blobs were then
+// pinned against every future sweep.)
+func TestDeleteAfterDoneLeavesNoManifest(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 4, ShardWorkers: 2})
+	defer s.Close()
+	tr := recordRacyMonteCarlo(t)
+
+	for i := 0; i < 25; i++ {
+		resp, body := submitV2(t, ts.URL, "?detector=spd3", "", tr)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit = %d\n%s", resp.StatusCode, body)
+		}
+		id := decodeJobStatus(t, body).ID
+		// Poll the in-memory state as tightly as possible and DELETE the
+		// instant it turns terminal — the adversarial client schedule.
+		waitFor(t, func() bool { return terminalState(jobState(s, id)) }, "job terminal")
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+id, nil)
+		del, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		del.Body.Close()
+		if del.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete = %d, want 204", del.StatusCode)
+		}
+		manifests, err := s.Store().LoadManifests()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range manifests {
+			if m.ID == id {
+				t.Fatalf("iteration %d: deleted job's manifest resurrected on disk", i)
+			}
+		}
+	}
+	if _, sweptBlobs, err := s.Store().Sweep(0); err != nil {
+		t.Fatal(err)
+	} else if n, b := s.Store().Blobs(); n != 0 || b != 0 {
+		t.Errorf("blobs pinned after all jobs deleted: %d blobs / %d bytes (swept %d)", n, b, sweptBlobs)
 	}
 }
 

@@ -146,14 +146,25 @@ func (q *quotaTable) admit(tenant string, byteEstimate int64) error {
 // after the splitter has run) against the tenant's gauge, and debits
 // the token bucket for any bytes beyond the admission estimate (the
 // bucket may go negative; the tenant pays it back through refill).
-func (q *quotaTable) charge(tenant string, storedBytes, estimate int64) {
+//
+// The stored-bytes ceiling is re-checked here because admission only
+// saw the client-supplied Content-Length — 0 for a chunked upload — so
+// concurrent submits could each pass admit and only reveal their real
+// size after the spill. A charge that would push the gauge over the
+// ceiling is refused: the caller fails the job and its blobs become
+// garbage for the next sweep, so the gauge itself never overshoots.
+func (q *quotaTable) charge(tenant string, storedBytes, estimate int64) error {
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	t := q.tenant(tenant)
+	if q.cfg.MaxStoredBytes > 0 && t.storedBytes+storedBytes > q.cfg.MaxStoredBytes {
+		return &quotaErr{kind: "stored bytes", tenant: tenant, retryAfter: 30 * time.Second}
+	}
 	t.storedBytes += storedBytes
 	if q.cfg.RateBytesPerSec > 0 && storedBytes > estimate {
 		t.tokens -= storedBytes - estimate
 	}
-	q.mu.Unlock()
+	return nil
 }
 
 // releaseSlot returns a job's queue slot: called when the job reaches a

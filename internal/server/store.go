@@ -370,42 +370,47 @@ func (s *Store) Sweep(ttl time.Duration) (sweptJobs, sweptBlobs int, err error) 
 		return 0, 0, err
 	}
 	now := time.Now()
-	live := make(map[string]struct{})
 	for _, m := range manifests {
 		if ttl > 0 && terminalState(m.State) && now.Sub(m.UpdatedAt) > ttl {
 			if derr := s.DeleteManifest(m.ID); derr == nil {
 				sweptJobs++
-				continue
 			}
 		}
+	}
+
+	// The blob phase runs entirely under the mutex: with the lock held
+	// no submit can BeginWrite, and writers == 0 means none is mid-spill,
+	// so segment references cannot appear between the live-set scan below
+	// and the file removals. Loading the manifests fresh here (rather
+	// than reusing the TTL scan above) closes the window where a submit
+	// completes after that scan and dedups onto a blob this sweep is
+	// about to delete — the job's manifest would then reference a file
+	// that no longer exists. Manifest directories are small, so the I/O
+	// held under the lock is a handful of reads and unlinks.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writers > 0 {
+		return sweptJobs, 0, nil
+	}
+	fresh, err := s.LoadManifests()
+	if err != nil {
+		return sweptJobs, 0, err
+	}
+	live := make(map[string]struct{})
+	for _, m := range fresh {
 		for _, ref := range m.Segments {
 			live[ref.Hash] = struct{}{}
 		}
 	}
-
-	s.mu.Lock()
-	if s.writers > 0 {
-		s.mu.Unlock()
-		return sweptJobs, 0, nil
-	}
-	var dead []string
-	for hash := range s.blobs {
-		if _, ok := live[hash]; !ok {
-			dead = append(dead, hash)
+	for hash, n := range s.blobs {
+		if _, ok := live[hash]; ok {
+			continue
 		}
-	}
-	s.mu.Unlock()
-
-	for _, hash := range dead {
 		if rerr := os.Remove(s.blobPath(hash)); rerr != nil && !os.IsNotExist(rerr) {
 			continue
 		}
-		s.mu.Lock()
-		if n, ok := s.blobs[hash]; ok {
-			delete(s.blobs, hash)
-			s.bytes -= n
-		}
-		s.mu.Unlock()
+		delete(s.blobs, hash)
+		s.bytes -= n
 		sweptBlobs++
 	}
 	return sweptJobs, sweptBlobs, nil
