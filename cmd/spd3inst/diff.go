@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// splitLines splits s into lines, each keeping its trailing newline so
+// the diff round-trips byte-exact content.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// diffOp is one line-level edit: ' ' keep, '-' delete, '+' insert.
+type diffOp struct {
+	kind byte
+	line string
+}
+
+// diffLines computes a line diff via longest-common-subsequence. The
+// inputs here are single source files, so quadratic DP is fine.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j]})
+	}
+	return ops
+}
+
+// writeUnified prints ops in unified-diff hunks with 3 lines of
+// context, after the caller has written the ---/+++ header.
+func writeUnified(w io.Writer, a, b []string) {
+	const ctx = 3
+	ops := diffLines(a, b)
+
+	// Mark which ops land in a hunk: every change plus ctx keeps around it.
+	keep := make([]bool, len(ops))
+	for i, op := range ops {
+		if op.kind == ' ' {
+			continue
+		}
+		lo := i - ctx
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + ctx
+		if hi >= len(ops) {
+			hi = len(ops) - 1
+		}
+		for k := lo; k <= hi; k++ {
+			keep[k] = true
+		}
+	}
+
+	aLine, bLine := 1, 1
+	i := 0
+	for i < len(ops) {
+		if !keep[i] {
+			if ops[i].kind != '+' {
+				aLine++
+			}
+			if ops[i].kind != '-' {
+				bLine++
+			}
+			i++
+			continue
+		}
+		// Hunk: run of kept ops.
+		j := i
+		aCount, bCount := 0, 0
+		for j < len(ops) && keep[j] {
+			if ops[j].kind != '+' {
+				aCount++
+			}
+			if ops[j].kind != '-' {
+				bCount++
+			}
+			j++
+		}
+		fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@\n", aLine, aCount, bLine, bCount)
+		for k := i; k < j; k++ {
+			op := ops[k]
+			fmt.Fprintf(w, "%c%s", op.kind, op.line)
+			if !strings.HasSuffix(op.line, "\n") {
+				fmt.Fprintf(w, "\n\\ No newline at end of file\n")
+			}
+			if op.kind != '+' {
+				aLine++
+			}
+			if op.kind != '-' {
+				bLine++
+			}
+		}
+		i = j
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/analysis/rewrite/testdata"
+
+// copyFixture clones one fixture package into a fresh directory so -w
+// can modify it without touching the checked-in files.
+func copyFixture(t *testing.T, name string) string {
+	t.Helper()
+	src := filepath.Join(fixtures, name)
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		content, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func TestReportMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{filepath.Join(fixtures, "array")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (rewrites pending); stderr: %s", code, &stderr)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		`rewrite data -> spd3.Array "main.data"`,
+		`rewrite sum -> spd3.Var "main.sum"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportModeClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{filepath.Join(fixtures, "sequential")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (nothing to rewrite); stderr: %s", code, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", &stdout)
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-diff", filepath.Join(fixtures, "mapmutex")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, &stderr)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"--- ", "+++ ", "@@ ",
+		"-\tcounts := make(map[string]int)",
+		`+	counts := spd3.NewMap[string, int](eng, "main.counts")`,
+		"-\t\t\tmu.Lock()",
+		"+\t\t\tmu.Lock(c)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMode(t *testing.T) {
+	dir := copyFixture(t, "array")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-w", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-w exit = %d, want 0; stderr: %s", code, &stderr)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(fixtures, "array", "main.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-w output differs from golden:\n%s", got)
+	}
+
+	// Second run over its own output: fixed point, exit 0, no writes.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-w", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -w exit = %d, want 0; stderr: %s", code, &stderr)
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Error("-w is not idempotent")
+	}
+}
+
+func TestOutputDirMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "twin")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", out, filepath.Join(fixtures, "matrix")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-o exit = %d, want 0; stderr: %s", code, &stderr)
+	}
+	got, err := os.ReadFile(filepath.Join(out, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(fixtures, "matrix", "main.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-o output differs from golden:\n%s", got)
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", filepath.Join(fixtures, "skips")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, &stderr)
+	}
+	var env struct {
+		Tool     string `json:"tool"`
+		Version  string `json:"version"`
+		Packages []struct {
+			Package   string `json:"package"`
+			Files     []string
+			Rewritten []struct{ Var string }
+			Skips     []struct{ Var, Reason string }
+		} `json:"packages"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, &stdout)
+	}
+	if env.Tool != "spd3inst" || env.Version == "" {
+		t.Errorf("envelope = %q/%q, want spd3inst with a version", env.Tool, env.Version)
+	}
+	if len(env.Packages) != 1 {
+		t.Fatalf("packages = %d, want 1", len(env.Packages))
+	}
+	p := env.Packages[0]
+	if len(p.Rewritten) != 0 || len(p.Skips) != 2 || len(p.Files) != 1 {
+		t.Errorf("skips fixture: rewritten=%d skips=%d files=%d, want 0/2/1",
+			len(p.Rewritten), len(p.Skips), len(p.Files))
+	}
+}
+
+func TestModeConflict(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-w", "-diff", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 for -w -diff", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr = %q, want mutual-exclusion message", &stderr)
+	}
+}

@@ -1,0 +1,57 @@
+// Twin: shared counter race, hand-instrumented. Must behave exactly
+// like the spd3inst rewrite of ../plain.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	n := spd3.NewVar[int](eng, "main.n", 0)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			c.Async(func(c *spd3.Ctx) {
+				for i := 0; i < 100; i++ {
+					n.Set(c, n.Get(c)+1)
+				}
+			})
+			c.Async(func(c *spd3.Ctx) {
+				for i := 0; i < 100; i++ {
+					n.Set(c, n.Get(c)+1)
+				}
+			})
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("count:", *n.Unchecked())
+	report("spd3", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

@@ -1,0 +1,55 @@
+// Twin: mutex-guarded shared map under the FastTrack detector. The
+// lock orders every update, so the run is quiet — but only if the
+// rewrite converts the sync.Mutex into an instrumented spd3.Mutex so
+// FastTrack sees the release→acquire edges.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential, Detector: spd3.FastTrack})
+	if err != nil {
+		panic(err)
+	}
+	words := []string{"go", "race", "go", "detect", "race", "go"}
+	counts := make(map[string]int)
+	var mu sync.Mutex
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(len(words), func(c *spd3.Ctx, i int) {
+			mu.Lock()
+			counts[words[i]]++
+			mu.Unlock()
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distinct:", len(counts), "go:", counts["go"])
+	report("fasttrack", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

@@ -1,0 +1,56 @@
+// Twin: squared vector norm with an unsynchronized shared accumulator.
+// Every worker does sum += ... with no ordering, so the instrumented
+// run must flag races on the accumulator. The input slice is only read
+// by tasks and stays plain.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	sum := 0.0
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(4, func(c *spd3.Ctx, p int) {
+			for i := p; i < len(data); i += 4 {
+				sum += data[i] * data[i]
+			}
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("norm2:", sum)
+	report("spd3", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

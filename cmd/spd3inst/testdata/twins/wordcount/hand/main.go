@@ -1,0 +1,49 @@
+// Twin: parallel word count, hand-instrumented. Must behave exactly
+// like the spd3inst rewrite of ../plain.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	words := []string{"go", "race", "go", "detect", "race", "go"}
+	counts := spd3.NewMap[string, int](eng, "main.counts")
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(len(words), func(c *spd3.Ctx, i int) {
+			counts.Update(c, words[i], func(old int) int { return old + 1 })
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distinct:", len(counts.Unchecked()), "go:", counts.Unchecked()["go"])
+	report("spd3", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

@@ -1,0 +1,50 @@
+// Twin: parallel word count into one shared map with no lock. Tasks
+// that see the same word race on its counter (and on the map's size),
+// so the instrumented run must come back racy.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	words := []string{"go", "race", "go", "detect", "race", "go"}
+	counts := make(map[string]int)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(len(words), func(c *spd3.Ctx, i int) {
+			counts[words[i]]++
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distinct:", len(counts), "go:", counts["go"])
+	report("spd3", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

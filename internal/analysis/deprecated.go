@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -28,6 +29,14 @@ import (
 // compiles. The analyzer rewrites the whole qualified identifier to the
 // new package (the fix does not edit the import block; run goimports or
 // add `import "spd3/client"` after applying it).
+//
+// A third rule family targets the old *Engine-only allocation idiom:
+// calling spd3.NewArray(eng, ...) (or NewMatrix/NewVar/NewList/NewMap/
+// NewMutex) from inside a function that has a *spd3.Ctx parameter. Those
+// call sites predate the Ctx-scoped constructors; the Ctx form both
+// removes the captured Engine and records DPST-correct creation-point
+// writes, so the fix rewrites the call to spd3.NewArrayIn(c, ...) using
+// the enclosing function's Ctx parameter.
 var DeprecatedAnalyzer = &Analyzer{
 	Name: "deprecated",
 	Doc: "report retired spd3 API (Raw, Row, Report.Footprint, server.Client " +
@@ -85,6 +94,7 @@ func runDeprecated(pass *Pass) error {
 		"APIError":  {pkgPath: serverPkgPath, replacement: "client.APIError"},
 	}
 	for _, f := range pass.Files {
+		runEngineScopedCtors(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -128,4 +138,101 @@ func runDeprecated(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// ctorInForms maps each *Engine-scoped root-package constructor to its
+// Ctx-scoped replacement.
+var ctorInForms = map[string]string{
+	"NewArray":  "NewArrayIn",
+	"NewMatrix": "NewMatrixIn",
+	"NewVar":    "NewVarIn",
+	"NewList":   "NewListIn",
+	"NewMap":    "NewMapIn",
+	"NewMutex":  "NewMutexIn",
+}
+
+// runEngineScopedCtors flags *Engine-scoped constructor calls made from
+// inside a function that has a named *Ctx parameter, and offers the
+// machine-applicable rewrite to the Ctx-scoped form.
+func runEngineScopedCtors(pass *Pass, f *ast.File) {
+	// Collect every function scope so the innermost one enclosing a
+	// call — the only one whose Ctx parameter is safe to substitute —
+	// can be found by position.
+	type funcScope struct {
+		body *ast.BlockStmt
+		ft   *ast.FuncType
+	}
+	var scopes []funcScope
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				scopes = append(scopes, funcScope{n.Body, n.Type})
+			}
+		case *ast.FuncLit:
+			scopes = append(scopes, funcScope{n.Body, n.Type})
+		}
+		return true
+	})
+	innermost := func(pos token.Pos) *funcScope {
+		var best *funcScope
+		for i := range scopes {
+			s := &scopes[i]
+			if s.body.Pos() <= pos && pos <= s.body.End() {
+				if best == nil || s.body.Pos() > best.body.Pos() {
+					best = s
+				}
+			}
+		}
+		return best
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fun := call.Fun
+		// Explicit instantiations (spd3.NewArray[int]) wrap the
+		// selector in an index expression.
+		switch ix := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ix.X
+		case *ast.IndexListExpr:
+			fun = ix.X
+		}
+		sel, ok := fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inForm, ok := ctorInForms[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != rootPkgPath {
+			return true
+		}
+		sc := innermost(call.Pos())
+		if sc == nil {
+			return true
+		}
+		ctxName := CtxParamName(pass.Info, sc.ft)
+		if ctxName == "" {
+			return true
+		}
+		pass.Report(Diagnostic{
+			Pos: sel.Sel.Pos(),
+			Message: "deprecated idiom: spd3." + sel.Sel.Name + " with an *Engine inside a task body; " +
+				"use the Ctx-scoped spd3." + inForm + "(" + ctxName + ", ...) for DPST-correct creation-point semantics",
+			Fix: &SuggestedFix{
+				Message: "rewrite " + sel.Sel.Name + " to " + inForm + "(" + ctxName + ", ...)",
+				Edits: []TextEdit{
+					{Pos: sel.Sel.Pos(), End: sel.Sel.End(), NewText: inForm},
+					{Pos: call.Args[0].Pos(), End: call.Args[0].End(), NewText: ctxName},
+				},
+			},
+		})
+		return true
+	})
 }

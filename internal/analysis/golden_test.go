@@ -134,6 +134,10 @@ func TestDeprecatedClientGolden(t *testing.T) {
 	runGolden(t, "testdata/deprecated/movedclient", DeprecatedAnalyzer)
 }
 
+func TestDeprecatedEngineScopedGolden(t *testing.T) {
+	runGolden(t, "testdata/deprecated/enginescoped", DeprecatedAnalyzer)
+}
+
 func TestSuppressGolden(t *testing.T) {
 	runGolden(t, "testdata/suppress/bad", RawConcAnalyzer)
 }

@@ -1,0 +1,35 @@
+// Fixture: shared 1-D slice and scalar, accessed from spawned tasks
+// and from driver code around the run.
+package main
+
+import (
+	"fmt"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	n := 8
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	var sum float64
+	total := 0.0
+	if _, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(4, func(c *spd3.Ctx, p int) {
+			for i := p; i < len(data); i += 4 {
+				data[i] *= 2
+				sum += data[i]
+			}
+		})
+		total = sum
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(sum, total, data[0])
+}

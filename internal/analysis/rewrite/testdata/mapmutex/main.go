@@ -1,0 +1,31 @@
+// Fixture: shared map guarded by a sync.Mutex; both rewrite, and the
+// sync import goes away with the mutex.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	counts := make(map[string]int)
+	var mu sync.Mutex
+	words := []string{"a", "b", "a", "c"}
+	if _, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(len(words), func(c *spd3.Ctx, i int) {
+			w := words[i]
+			mu.Lock()
+			counts[w]++
+			mu.Unlock()
+		})
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(counts), counts["a"])
+}

@@ -1,0 +1,32 @@
+// Fixture: shared [][]int declared with the make-plus-row-loop idiom,
+// written by a parallel loop.
+package main
+
+import (
+	"fmt"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	const rows, cols = 4, 3
+	grid := make([][]int, rows)
+	for i := 0; i < rows; i++ {
+		grid[i] = make([]int, cols)
+	}
+	if _, err := eng.Run(func(c *spd3.Ctx) {
+		c.ParallelFor(0, rows, 1, func(c *spd3.Ctx, i int) {
+			for j := 0; j < len(grid[i]); j++ {
+				grid[i][j] = i * j
+				grid[i][j]++
+			}
+		})
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(grid), grid[1][2])
+}

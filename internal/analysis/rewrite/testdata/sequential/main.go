@@ -1,0 +1,25 @@
+// Fixture: a run with no spawned tasks. Nothing is shared across a
+// spawn boundary, so the rewriter must leave every byte alone.
+package main
+
+import (
+	"fmt"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	xs := make([]int, 3)
+	if _, err := eng.Run(func(c *spd3.Ctx) {
+		for i := range xs {
+			xs[i] = i * i
+		}
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(xs)
+}

@@ -1,0 +1,38 @@
+// Fixture: shared variables the rewriter must refuse — one escapes to
+// an unknown callee, one is used inside a plain closure, and one is
+// opted out by hand.
+package main
+
+import (
+	"fmt"
+
+	"spd3"
+)
+
+func consume(xs []int) int { return xs[0] }
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	shared := make([]int, 4)
+	//spd3inst:skip keep raw for the cgo call
+	opted := make([]int, 4)
+	lost := 0
+	if _, err := eng.Run(func(c *spd3.Ctx) {
+		c.Async(func(c *spd3.Ctx) {
+			shared[0] = consume(shared)
+			opted[1] = 2
+			lost++
+		})
+		report := func() {
+			fmt.Println(lost)
+		}
+		report()
+		c.Finish(func(c *spd3.Ctx) {})
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(shared[0], opted[1], lost)
+}

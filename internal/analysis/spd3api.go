@@ -46,7 +46,7 @@ func isCtx(t types.Type) bool { return namedIn(t, taskPkgPath, "Ctx") }
 // isMemContainer reports whether t is (a pointer to) one of the
 // instrumented containers in internal/mem.
 func isMemContainer(t types.Type) bool {
-	for _, name := range [...]string{"Array", "Matrix", "Var", "List"} {
+	for _, name := range [...]string{"Array", "Matrix", "Var", "List", "Map"} {
 		if namedIn(t, memPkgPath, name) {
 			return true
 		}
@@ -123,6 +123,12 @@ var ctxBodyArgs = map[string]closureArg{
 // taskClosures finds every function literal in the pass that is passed
 // directly to a task-body API call site.
 func taskClosures(pass *Pass) []taskClosure {
+	return findTaskClosures(pass.Files, pass.Info)
+}
+
+// findTaskClosures is the file/info form of taskClosures, shared with
+// the exported TaskClosures surface the rewrite package builds on.
+func findTaskClosures(files []*ast.File, info *types.Info) []taskClosure {
 	var out []taskClosure
 	add := func(call *ast.CallExpr, ca closureArg, api string) {
 		if ca.arg >= len(call.Args) {
@@ -132,7 +138,7 @@ func taskClosures(pass *Pass) []taskClosure {
 			out = append(out, taskClosure{lit: lit, api: api, spawned: ca.spawned})
 		}
 	}
-	for _, f := range pass.Files {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -146,7 +152,7 @@ func taskClosures(pass *Pass) []taskClosure {
 			// Package-level RunCilk(c, body): body runs on the current
 			// task.
 			if name == "RunCilk" {
-				if obj, ok := pass.Info.Uses[sel.Sel]; ok {
+				if obj, ok := info.Uses[sel.Sel]; ok {
 					if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
 						(fn.Pkg().Path() == taskPkgPath || fn.Pkg().Path() == rootPkgPath) && fn.Type().(*types.Signature).Recv() == nil {
 						add(call, closureArg{arg: 1, spawned: false}, "RunCilk")
@@ -154,7 +160,7 @@ func taskClosures(pass *Pass) []taskClosure {
 					}
 				}
 			}
-			rt := recvType(pass.Info, call)
+			rt := recvType(info, call)
 			if rt == nil {
 				return true
 			}
@@ -172,6 +178,57 @@ func taskClosures(pass *Pass) []taskClosure {
 		})
 	}
 	return out
+}
+
+// TaskClosure is the exported form of a task-body function literal, for
+// tools built on this package (the spd3inst rewriter).
+type TaskClosure struct {
+	// Lit is the function literal that runs as a task body.
+	Lit *ast.FuncLit
+	// API is the spawning call ("Async", "ParallelFor", "Run", ...).
+	API string
+	// Spawned is true when the literal runs as a different task than
+	// the enclosing code, so its free variables are shared across
+	// tasks.
+	Spawned bool
+}
+
+// TaskClosures finds every function literal in pkg that is passed
+// directly to a task-body API call site.
+func TaskClosures(pkg *Package) []TaskClosure {
+	var out []TaskClosure
+	for _, tc := range findTaskClosures(pkg.Files, pkg.Info) {
+		out = append(out, TaskClosure{Lit: tc.lit, API: tc.api, Spawned: tc.spawned})
+	}
+	return out
+}
+
+// IsCtx reports whether t is (a pointer to) the task context type
+// (spd3.Ctx / task.Ctx).
+func IsCtx(t types.Type) bool { return isCtx(t) }
+
+// IsEngine reports whether t is (a pointer to) spd3.Engine.
+func IsEngine(t types.Type) bool { return namedIn(t, rootPkgPath, "Engine") }
+
+// CtxParamName returns the name of ft's *Ctx parameter, or "" when the
+// function type has none (or it is blank). Tools use it to know which
+// task context is in scope inside a task body.
+func CtxParamName(info *types.Info, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isCtx(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
 }
 
 // within reports whether pos lies inside lit's body.

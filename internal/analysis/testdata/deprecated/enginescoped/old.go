@@ -1,0 +1,38 @@
+// Package old exercises the retired *Engine-only allocation idiom: the
+// containers are allocated inside task bodies where a *Ctx is in scope,
+// so the Ctx-scoped constructors apply.
+package old
+
+import "spd3"
+
+func run(eng *spd3.Engine) error {
+	// Allocation before the run, with no Ctx in scope: the Engine form
+	// is the right one, no finding.
+	pre := spd3.NewArray[int](eng, "pre", 4)
+	_, err := eng.Run(func(c *spd3.Ctx) {
+		a := spd3.NewArray[int](eng, "a", 8)         // want `deprecated idiom: spd3\.NewArray .* use the Ctx-scoped spd3\.NewArrayIn\(c, \.\.\.\)`
+		m := spd3.NewMatrix[float64](eng, "m", 2, 2) // want `Ctx-scoped spd3\.NewMatrixIn\(c, \.\.\.\)`
+		v := spd3.NewVar(eng, "v", 0)                // want `Ctx-scoped spd3\.NewVarIn\(c, \.\.\.\)`
+		l := spd3.NewList[int](eng, "l")             // want `Ctx-scoped spd3\.NewListIn\(c, \.\.\.\)`
+		mp := spd3.NewMap[string, int](eng, "mp")    // want `Ctx-scoped spd3\.NewMapIn\(c, \.\.\.\)`
+		mu := spd3.NewMutex(eng)                     // want `Ctx-scoped spd3\.NewMutexIn\(c, \.\.\.\)`
+		c.FinishAsync(4, func(c *spd3.Ctx, i int) {
+			inner := spd3.NewVar(eng, "inner", i) // want `Ctx-scoped spd3\.NewVarIn\(c, \.\.\.\)`
+			inner.Set(c, i)
+			a.Set(c, i, pre.Get(c, i%4))
+		})
+		// A plain nested closure has no Ctx parameter of its own; the
+		// enclosing c must not be substituted into code that may run
+		// anywhere, so no finding here.
+		fill := func() *spd3.Array[int] {
+			return spd3.NewArray[int](eng, "fill", 2)
+		}
+		fill()
+		mu.Lock(c)
+		v.Set(c, a.Get(c, 0)+int(m.Get(c, 0, 0)))
+		mu.Unlock(c)
+		l.Append(c, v.Get(c))
+		mp.Set(c, "sum", l.Get(c, 0))
+	})
+	return err
+}

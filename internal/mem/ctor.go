@@ -1,0 +1,79 @@
+package mem
+
+import "spd3/internal/task"
+
+// Ctx-scoped constructors. The original constructors take a
+// *task.Runtime and are meant for allocation before the run starts —
+// mechanical instrumentation (spd3inst) instead rewrites allocations
+// wherever they occur in the program, and inside a task body the only
+// handle in scope is the task's *Ctx.
+//
+// Creation-point semantics: allocating a container zeroes its memory,
+// which is a write by the allocating task. The Ctx-scoped constructors
+// record that write in the shadow — one per cell for the fixed-size
+// containers, one on the structure (length) cell for the growable ones —
+// so a task that reads a container unordered with the sibling that
+// created it is reported, exactly as if the sibling had Set every
+// element. This is the DPST-correct account of allocation: in the
+// paper's model the initializing writes belong to the allocating step.
+//
+// The *Runtime (and *Engine) forms are the same constructors with the
+// creation writes elided: allocation before Run happens-before the main
+// task and therefore before every step of the program, so recording the
+// initializing writes would be pure overhead — every later access is
+// ordered after them. Allocating through a root Ctx inside Run before
+// the first spawn is equivalent for the same reason.
+
+// NewArrayIn allocates an instrumented array of n elements from inside
+// a task body, attributing the initializing writes to c's task.
+func NewArrayIn[T any](c *task.Ctx, name string, n int) *Array[T] {
+	a := NewArray[T](c.Runtime(), name, n)
+	t := c.Task()
+	for i := 0; i < n; i++ {
+		a.sh.Write(t, i)
+	}
+	return a
+}
+
+// NewMatrixIn allocates an instrumented rows×cols matrix from inside a
+// task body, attributing the initializing writes to c's task.
+func NewMatrixIn[T any](c *task.Ctx, name string, rows, cols int) *Matrix[T] {
+	m := NewMatrix[T](c.Runtime(), name, rows, cols)
+	t := c.Task()
+	for i := 0; i < rows*cols; i++ {
+		m.sh.Write(t, i)
+	}
+	return m
+}
+
+// NewVarIn allocates an instrumented variable from inside a task body,
+// attributing the initializing write to c's task.
+func NewVarIn[T any](c *task.Ctx, name string, init T) *Var[T] {
+	v := NewVar(c.Runtime(), name, init)
+	v.sh.Write(c.Task(), 0)
+	return v
+}
+
+// NewListIn allocates an empty instrumented list from inside a task
+// body, attributing the initializing write (of the empty structure) to
+// c's task.
+func NewListIn[T any](c *task.Ctx, name string) *List[T] {
+	l := NewList[T](c.Runtime(), name)
+	l.sh.Write(c.Task(), lengthCell)
+	return l
+}
+
+// NewMapIn allocates an empty instrumented map from inside a task body,
+// attributing the initializing write (of the empty structure) to c's
+// task.
+func NewMapIn[K comparable, V any](c *task.Ctx, name string) *Map[K, V] {
+	m := NewMap[K, V](c.Runtime(), name)
+	m.sh.Write(c.Task(), lengthCell)
+	return m
+}
+
+// NewMutexIn allocates an instrumented lock from inside a task body. A
+// lock has no shadowed cells, so there is no creation write to record.
+func NewMutexIn(c *task.Ctx) *Mutex {
+	return NewMutex(c.Runtime())
+}

@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"testing"
+
+	"spd3/internal/task"
+)
+
+func TestMapSequentialOps(t *testing.T) {
+	rt, sink := newRT(t)
+	m := NewMap[string, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		m.Set(c, "a", 1)
+		m.Set(c, "b", 2)
+		m.Set(c, "a", 10) // overwrite
+		if got := m.Get(c, "a"); got != 10 {
+			t.Errorf(`m["a"] = %d, want 10`, got)
+		}
+		if _, ok := m.Lookup(c, "zzz"); ok {
+			t.Error("phantom key")
+		}
+		if n := m.Len(c); n != 2 {
+			t.Errorf("len = %d, want 2", n)
+		}
+		m.Update(c, "b", func(v int) int { return v + 100 })
+		if got := m.Get(c, "b"); got != 102 {
+			t.Errorf(`m["b"] = %d, want 102`, got)
+		}
+		m.Delete(c, "a")
+		m.Delete(c, "never-there")
+		if n := m.Len(c); n != 1 {
+			t.Errorf("len after delete = %d, want 1", n)
+		}
+		sum := 0
+		m.Range(c, func(k string, v int) bool { sum += v; return true })
+		if sum != 102 {
+			t.Errorf("range sum = %d, want 102", sum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Empty() {
+		t.Fatalf("sequential map use raced: %v", sink.Races())
+	}
+	if got := m.Unchecked(); len(got) != 1 || got["b"] != 102 {
+		t.Errorf("Unchecked = %v", got)
+	}
+}
+
+func TestMapParallelInsertsRace(t *testing.T) {
+	// The headline case: two unordered inserts of *different* keys are
+	// a structural race (both write the structure cell).
+	rt, sink := newRT(t)
+	m := NewMap[int, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			m.Set(c, i, i)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("parallel inserts of distinct keys not reported")
+	}
+}
+
+func TestMapParallelUpdatesDistinctExistingKeysNoRace(t *testing.T) {
+	// Overwriting existing keys touches only the keys' own cells, so
+	// disjoint-key parallel updates are clean (like disjoint Array
+	// cells).
+	rt, sink := newRT(t)
+	m := NewMap[int, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		for i := 0; i < 4; i++ {
+			m.Set(c, i, 0)
+		}
+		c.FinishAsync(4, func(c *task.Ctx, i int) {
+			m.Set(c, i, i*i)
+		})
+		for i := 0; i < 4; i++ {
+			if got := m.Get(c, i); got != i*i {
+				t.Errorf("m[%d] = %d", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Empty() {
+		t.Fatalf("disjoint-key updates raced: %v", sink.Races())
+	}
+}
+
+func TestMapParallelUpdateSameKeyRaces(t *testing.T) {
+	rt, sink := newRT(t)
+	m := NewMap[string, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		m.Set(c, "n", 0)
+		c.FinishAsync(2, func(c *task.Ctx, i int) {
+			m.Update(c, "n", func(v int) int { return v + 1 })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("parallel same-key updates not reported")
+	}
+}
+
+func TestMapLookupVsInsertRaces(t *testing.T) {
+	// A lookup reads the structure cell, so it is unordered against any
+	// insert — Go's concurrent read/write map fault.
+	rt, sink := newRT(t)
+	m := NewMap[int, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { m.Set(c, 1, 1) })
+			c.Async(func(c *task.Ctx) { _, _ = m.Lookup(c, 2) })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("lookup unordered with insert not reported")
+	}
+}
+
+func TestMapLenVsDeleteRaces(t *testing.T) {
+	rt, sink := newRT(t)
+	m := NewMap[int, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		m.Set(c, 7, 7)
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { m.Delete(c, 7) })
+			c.Async(func(c *task.Ctx) { _ = m.Len(c) })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("len unordered with delete not reported")
+	}
+}
+
+func TestMapRangeVsUpdateRaces(t *testing.T) {
+	rt, sink := newRT(t)
+	m := NewMap[int, int](rt, "m")
+	err := rt.Run(func(c *task.Ctx) {
+		m.Set(c, 1, 1)
+		c.Finish(func(c *task.Ctx) {
+			c.Async(func(c *task.Ctx) { m.Set(c, 1, 2) })
+			c.Async(func(c *task.Ctx) {
+				m.Range(c, func(int, int) bool { return true })
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Empty() {
+		t.Fatal("range unordered with existing-key update not reported")
+	}
+}

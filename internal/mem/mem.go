@@ -231,6 +231,12 @@ func (v *Var[T]) Set(c *task.Ctx, x T) {
 	v.v = x
 }
 
+// Unchecked returns a pointer to the variable's storage without
+// instrumentation; see Array.Unchecked for when this is legitimate
+// (sequential phases, e.g. seeding before the run or reading the result
+// after it).
+func (v *Var[T]) Unchecked() *T { return &v.v }
+
 // Update applies f to the variable as an instrumented
 // read-modify-write; see Matrix.Update for why this beats a Get+Set
 // pair.

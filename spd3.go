@@ -92,6 +92,13 @@ type Var[T any] = mem.Var[T]
 // length cell.
 type List[T any] = mem.List[T]
 
+// Map is an instrumented map backed by a growable shadow region:
+// structural mutations (inserting a new key, deleting a present one)
+// write a dedicated structure cell and every lookup reads it, so
+// unordered parallel inserts — or a lookup unordered with an insert —
+// are reported as races, mirroring Go's dynamic map checker.
+type Map[K comparable, V any] = mem.Map[K, V]
+
 // Mutex is an instrumented lock (meaningful to FastTrack and Eraser).
 type Mutex = mem.Mutex
 
@@ -316,8 +323,56 @@ func NewList[T any](e *Engine, name string) *List[T] {
 	return mem.NewList[T](e.rt, name)
 }
 
+// NewMap allocates an empty instrumented map.
+func NewMap[K comparable, V any](e *Engine, name string) *Map[K, V] {
+	return mem.NewMap[K, V](e.rt, name)
+}
+
 // NewMutex allocates an instrumented lock.
 func NewMutex(e *Engine) *Mutex { return mem.NewMutex(e.rt) }
+
+// Ctx-scoped constructors. Containers allocated from inside a task body
+// — where only the task's *Ctx is in scope, the situation mechanical
+// instrumentation (cmd/spd3inst) produces — use these forms. They differ
+// from the *Engine forms only in creation-point semantics: allocation
+// zeroes the container, and the In forms record those initializing
+// writes against the allocating task, so a task that reads the
+// container unordered with the task that created it is correctly
+// reported. The *Engine forms are the same constructors with the
+// creation writes elided, which is sound exactly because pre-Run
+// allocation happens-before every task (see mem's package docs).
+
+// NewArrayIn allocates an instrumented array from inside a task body,
+// attributing the initializing writes to c's task.
+func NewArrayIn[T any](c *Ctx, name string, n int) *Array[T] {
+	return mem.NewArrayIn[T](c, name, n)
+}
+
+// NewMatrixIn allocates an instrumented matrix from inside a task body,
+// attributing the initializing writes to c's task.
+func NewMatrixIn[T any](c *Ctx, name string, rows, cols int) *Matrix[T] {
+	return mem.NewMatrixIn[T](c, name, rows, cols)
+}
+
+// NewVarIn allocates an instrumented variable from inside a task body,
+// attributing the initializing write to c's task.
+func NewVarIn[T any](c *Ctx, name string, init T) *Var[T] {
+	return mem.NewVarIn(c, name, init)
+}
+
+// NewListIn allocates an empty instrumented list from inside a task
+// body.
+func NewListIn[T any](c *Ctx, name string) *List[T] {
+	return mem.NewListIn[T](c, name)
+}
+
+// NewMapIn allocates an empty instrumented map from inside a task body.
+func NewMapIn[K comparable, V any](c *Ctx, name string) *Map[K, V] {
+	return mem.NewMapIn[K, V](c, name)
+}
+
+// NewMutexIn allocates an instrumented lock from inside a task body.
+func NewMutexIn(c *Ctx) *Mutex { return mem.NewMutexIn(c) }
 
 // Cilk provides Cilk-style spawn/sync parallelism as sugar over
 // async/finish (§2: async/finish generalizes spawn/sync, so every
