@@ -1,0 +1,18 @@
+package main
+
+import (
+	"fmt"
+	"spd3"
+)
+
+func main() {
+	eng, _ := spd3.New(spd3.Options{})
+	m := make(map[string]int)
+	eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, i int) {
+			_ = i
+			m["a"] += m["b"]
+		})
+	})
+	fmt.Println(len(m))
+}
