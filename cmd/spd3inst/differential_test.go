@@ -12,18 +12,23 @@ import (
 
 // The twin benchmarks: each has a plain version (spd3 task structure,
 // plain shared data) and a hand-instrumented version using the same
-// container names. spd3inst rewrites the plain one; both are then run
-// and must agree byte-for-byte — same computed values, same race
-// verdict, same digest over the sorted race set.
+// container names. spd3inst rewrites the plain one twice — once with
+// -no-elide and once with the default checkelim post-pass — and all
+// three programs are run and must agree byte-for-byte: same computed
+// values, same race verdict, same digest over the sorted race set.
+// elided marks twins whose optimized variant must actually lose
+// checks, so the three-way agreement is not vacuous.
 var twins = []struct {
-	name string
-	racy bool
+	name   string
+	racy   bool
+	elided bool
 }{
-	{"matmul", false},
-	{"vecnorm", true},
-	{"counter", true},
-	{"wordcount", true},
-	{"lockedmap", false},
+	{"matmul", false, false},
+	{"vecnorm", true, false},
+	{"counter", true, false},
+	{"wordcount", true, false},
+	{"lockedmap", false, false},
+	{"stencil", true, true},
 }
 
 var racyLine = regexp.MustCompile(`(?m)^racy: (true|false)$`)
@@ -56,13 +61,25 @@ func TestDifferentialTwins(t *testing.T) {
 				t.Fatal(err)
 			}
 			t.Cleanup(func() { os.RemoveAll(gen) })
+			genOpt, err := os.MkdirTemp("testdata", "genopt-"+tw.name+"-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { os.RemoveAll(genOpt) })
 
 			var stdout, stderr bytes.Buffer
-			if code := run([]string{"-o", gen, plain}, &stdout, &stderr); code != 0 {
-				t.Fatalf("spd3inst -o exit = %d\n%s", code, &stderr)
+			if code := run([]string{"-no-elide", "-o", gen, plain}, &stdout, &stderr); code != 0 {
+				t.Fatalf("spd3inst -no-elide -o exit = %d\n%s", code, &stderr)
 			}
 			if strings.Contains(stderr.String(), "skip") {
 				t.Fatalf("rewriter skipped a shared variable:\n%s", &stderr)
+			}
+			var optErr bytes.Buffer
+			if code := run([]string{"-o", genOpt, plain}, &stdout, &optErr); code != 0 {
+				t.Fatalf("spd3inst -o exit = %d\n%s", code, &optErr)
+			}
+			if strings.Contains(optErr.String(), "skip") {
+				t.Fatalf("rewriter skipped a shared variable:\n%s", &optErr)
 			}
 
 			// The rewrite must actually instrument something — twins
@@ -80,10 +97,37 @@ func TestDifferentialTwins(t *testing.T) {
 				t.Fatal("rewriter left the plain twin unchanged")
 			}
 
+			// The elided twin pins the post-pass end to end: the
+			// optimizer found something, marked it, and stamped the
+			// count for the runtime counter.
+			if tw.elided {
+				if !strings.Contains(optErr.String(), "statically elided") {
+					t.Errorf("post-pass elided nothing on an elision twin:\n%s", &optErr)
+				}
+				optMain, err := os.ReadFile(filepath.Join(genOpt, "main.go"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Contains(optMain, []byte("//spd3opt:elided")) {
+					t.Error("optimized twin carries no //spd3opt:elided marker")
+				}
+				stamp, err := os.ReadFile(filepath.Join(genOpt, "zz_spd3opt.go"))
+				if err != nil {
+					t.Fatalf("missing zz_spd3opt.go stamp: %v", err)
+				}
+				if !bytes.Contains(stamp, []byte("RegisterStaticElided")) {
+					t.Errorf("stamp does not register the elided count:\n%s", stamp)
+				}
+			}
+
 			handOut := goRun(t, hand)
 			genOut := goRun(t, gen)
+			genOptOut := goRun(t, genOpt)
 			if handOut != genOut {
 				t.Errorf("outputs differ\n--- hand ---\n%s--- rewritten ---\n%s", handOut, genOut)
+			}
+			if genOut != genOptOut {
+				t.Errorf("elision changed behavior\n--- rewritten ---\n%s--- optimized ---\n%s", genOut, genOptOut)
 			}
 			m := racyLine.FindStringSubmatch(genOut)
 			if m == nil {

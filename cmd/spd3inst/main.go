@@ -20,6 +20,14 @@
 //
 //	//spd3inst:skip <reason>
 //
+// In -o mode the rewritten package is then optimized by the §5.5
+// static check eliminator (internal/analysis/checkelim): checked
+// accesses whose verdict is provably implied by an earlier same-step
+// access are downgraded to unchecked forms under //spd3opt:elided
+// markers, and the elided-site count is stamped into a generated
+// zz_spd3opt.go so it surfaces in every Report.Stats as
+// mem.checks_elided_static. -no-elide turns the post-pass off.
+//
 // Exit status: 0 when nothing needs rewriting (or after a successful
 // -w/-o), 1 when rewrites are pending in report modes, 2 on usage or
 // load errors.
@@ -37,6 +45,7 @@ import (
 	"strings"
 
 	"spd3/internal/analysis"
+	"spd3/internal/analysis/checkelim"
 	"spd3/internal/analysis/rewrite"
 )
 
@@ -58,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		write   = fs.Bool("w", false, "rewrite files in place")
 		outDir  = fs.String("o", "", "write the full rewritten package (changed and unchanged files) into `dir`")
 		jsonOut = fs.Bool("json", false, "emit the result as a JSON envelope")
+		noElide = fs.Bool("no-elide", false, "disable the static check-elimination post-pass in -o mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		reportSkips(stderr, loader, results)
 		if *jsonOut {
-			return emitJSON(stdout, stderr, loader, results, 0)
+			return emitJSON(stdout, stderr, loader, results, 0, nil)
 		}
 		if changed > 0 {
 			fmt.Fprintf(stderr, "spd3inst: rewrote %d file(s)\n", changed)
@@ -129,9 +139,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "spd3inst:", err)
 			return 2
 		}
+		var elide *elideOutcome
+		if !*noElide {
+			elide, err = elidePackage(*outDir)
+			if err != nil {
+				fmt.Fprintln(stderr, "spd3inst:", err)
+				return 2
+			}
+			if n := len(elide.res.Elisions); n > 0 {
+				fmt.Fprintf(stderr, "spd3inst: statically elided %d redundant check(s)\n", n)
+			}
+		}
 		reportSkips(stderr, loader, results)
 		if *jsonOut {
-			return emitJSON(stdout, stderr, loader, results, 0)
+			return emitJSON(stdout, stderr, loader, results, 0, elide)
 		}
 		return 0
 
@@ -158,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if changed > 0 {
 				code = 1
 			}
-			return emitJSON(stdout, stderr, loader, results, code)
+			return emitJSON(stdout, stderr, loader, results, code, nil)
 		}
 		for _, pr := range results {
 			for _, rw := range pr.res.Rewritten {
@@ -175,6 +196,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+}
+
+// elideOutcome pairs the checkelim post-pass result with the file set
+// that produced it (positions in the result belong to the post-pass
+// loader over the output directory, not the driver's input loader).
+type elideOutcome struct {
+	res  *checkelim.Result
+	fset *token.FileSet
+}
+
+// elidePackage runs the §5.5 static check eliminator over the freshly
+// written output directory: it reloads the rewritten package, applies
+// the default (digest-preserving) elision fixes in place, and stamps
+// the elided-site count into a generated zz_spd3opt.go whose init
+// registers it with the runtime (mem.checks_elided_static).
+func elidePackage(dir string) (*elideOutcome, error) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("rewritten package does not type-check: %v", pkg.TypeErrors[0])
+	}
+	res, err := checkelim.Analyze(pkg, checkelim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if n := len(res.Elisions); n > 0 {
+		if _, _, err := analysis.ApplyFixes(pkg.Fset, res.Diags); err != nil {
+			return nil, err
+		}
+		if err := stampElided(dir, pkg.Types.Name(), n); err != nil {
+			return nil, err
+		}
+	}
+	return &elideOutcome{res: res, fset: pkg.Fset}, nil
+}
+
+// stampElided writes the generated zz_spd3opt.go recording how many
+// check sites the eliminator removed, so the optimized package reports
+// the count at runtime through Report.Stats.
+func stampElided(dir, pkgName string, n int) error {
+	src := fmt.Sprintf(`// Code generated by spd3inst; DO NOT EDIT.
+
+package %s
+
+import "spd3"
+
+// spd3optElidedStatic is the number of container access sites in this
+// package whose dynamic race checks were removed at compile time by
+// the §5.5 static check eliminator (//spd3opt:elided markers).
+const spd3optElidedStatic = %d
+
+func init() { spd3.RegisterStaticElided(spd3optElidedStatic) }
+`, pkgName, n)
+	return os.WriteFile(filepath.Join(dir, "zz_spd3opt.go"), []byte(src), 0o644)
 }
 
 // writePackage materializes the full rewritten package — changed files
@@ -250,6 +331,13 @@ type jsonPackage struct {
 	Files     []string        `json:"files"`
 	Rewritten []jsonRewritten `json:"rewritten"`
 	Skips     []jsonSkip      `json:"skips"`
+	// Elided counts the checks removed by the -o post-pass, per
+	// checkelim rule ("dup", "hoist"); absent outside -o or with
+	// -no-elide. ElideSkips are candidate accesses the eliminator
+	// proved it could NOT remove, with the reason — the aggregate a
+	// corpus sweep reads to see how much §5.5 buys and what blocks it.
+	Elided     map[string]int  `json:"elided,omitempty"`
+	ElideSkips []jsonElideSkip `json:"elide_skips,omitempty"`
 }
 
 type jsonRewritten struct {
@@ -265,7 +353,13 @@ type jsonSkip struct {
 	Pos    string `json:"pos"`
 }
 
-func emitJSON(stdout, stderr io.Writer, loader *analysis.Loader, results []pkgResult, code int) int {
+type jsonElideSkip struct {
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Pos    string `json:"pos"`
+}
+
+func emitJSON(stdout, stderr io.Writer, loader *analysis.Loader, results []pkgResult, code int, elide *elideOutcome) int {
 	env := jsonEnvelope{Tool: "spd3inst", Version: analysis.Version}
 	for _, pr := range results {
 		jp := jsonPackage{
@@ -287,6 +381,20 @@ func emitJSON(stdout, stderr io.Writer, loader *analysis.Loader, results []pkgRe
 			jp.Skips = append(jp.Skips, jsonSkip{
 				Var: sk.Var, Reason: sk.Reason, Pos: position(loader, sk.Pos),
 			})
+		}
+		// -o analyzes exactly one package; the post-pass outcome, when
+		// present, belongs to it.
+		if elide != nil {
+			jp.Elided = elide.res.Counts()
+			jp.ElideSkips = []jsonElideSkip{}
+			for _, s := range elide.res.Skips {
+				p := elide.fset.Position(s.Pos)
+				jp.ElideSkips = append(jp.ElideSkips, jsonElideSkip{
+					Rule:   string(s.Rule),
+					Reason: s.Reason,
+					Pos:    fmt.Sprintf("%s:%d:%d", display(p.Filename), p.Line, p.Column),
+				})
+			}
 		}
 		env.Packages = append(env.Packages, jp)
 	}

@@ -1,0 +1,71 @@
+// Twin: in-place grid relaxation, hand-instrumented. Must behave
+// exactly like the spd3inst rewrite of ../plain — same container
+// names, same access pattern, same verdict and race digest — whether
+// or not the rewrite was then optimized by the checkelim post-pass.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	const n = 8
+	grid := spd3.NewMatrix[float64](eng, "main.grid", n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			grid.UncheckedRow(i)[j] = float64((i*j)%5) * 0.5
+		}
+	}
+	scale := spd3.NewVar[float64](eng, "main.scale", 0.5)
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, t int) {
+			if t == 0 {
+				scale.Set(c, 0.25)
+			}
+		})
+		c.ParallelFor(1, n-1, 1, func(c *spd3.Ctx, i int) {
+			for j := 1; j < n-1; j++ {
+				avg := (grid.Get(c, i-1, j) + grid.Get(c, i+1, j)) * scale.Get(c)
+				grid.Set(c, i, j, grid.Get(c, i, j)-scale.Get(c)*(grid.Get(c, i, j)-avg))
+			}
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += grid.UncheckedRow(i)[j]
+		}
+	}
+	fmt.Println("check:", s)
+	report("spd3", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

@@ -1,0 +1,78 @@
+// Twin: in-place Jacobi-style grid relaxation with a shared scale
+// factor. The relax phase updates grid[i][j] while neighbor rows are
+// read by other tasks, so the instrumented run must flag races on the
+// grid. The scale factor is written in an earlier phase (joined by its
+// finish) and only read afterwards, so it stays race-free. The relax
+// statement re-reads grid[i][j] and scale redundantly on purpose: the
+// checkelim post-pass must elide the duplicate grid read and hoist the
+// loop-invariant scale reads without changing verdict or digest.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"spd3"
+)
+
+func main() {
+	eng, err := spd3.New(spd3.Options{Executor: spd3.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	const n = 8
+	grid := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		grid[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			grid[i][j] = float64((i*j)%5) * 0.5
+		}
+	}
+	scale := 0.5
+	rep, err := eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, t int) {
+			if t == 0 {
+				scale = 0.25
+			}
+		})
+		c.ParallelFor(1, n-1, 1, func(c *spd3.Ctx, i int) {
+			for j := 1; j < n-1; j++ {
+				avg := (grid[i-1][j] + grid[i+1][j]) * scale
+				grid[i][j] = grid[i][j] - scale*(grid[i][j]-avg)
+			}
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += grid[i][j]
+		}
+	}
+	fmt.Println("check:", s)
+	report("spd3", rep)
+}
+
+// report prints the verdict and a digest over the sorted deduplicated
+// race set, in the same detector/kind/region/index shape spd3load uses.
+func report(det string, rep *spd3.Report) {
+	set := make(map[string]struct{})
+	for _, rc := range rep.Races {
+		set[fmt.Sprintf("%s/%s/%s/%d", det, rc.Kind, rc.Region, rc.Index)] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	fmt.Printf("racy: %v\ndigest: %x\n", !rep.RaceFree(), h.Sum(nil))
+}

@@ -1,7 +1,10 @@
 // Command spd3vet statically checks programs written against the spd3
 // API for uses that void the detector's soundness guarantee: escape-
 // hatch data crossing spawn boundaries, task contexts escaping their
-// task, raw Go concurrency inside task bodies, and retired API.
+// task, raw Go concurrency inside task bodies, and retired API. It
+// also carries the §5.5 checkelim optimizer as an analyzer: checks it
+// proves redundant are reported as findings whose fixes (-fix) rewrite
+// them to unchecked accesses under a //spd3opt:elided marker.
 //
 // Usage:
 //
@@ -9,6 +12,7 @@
 //	spd3vet -json ./...                # JSON envelope (tool, version, findings)
 //	spd3vet -fix ./...                 # apply machine-applicable rewrites
 //	spd3vet -analyzers unchecked,rawconc ./internal/bench
+//	spd3vet -analyzers checkelim -fix ./pkg   # elide provably redundant checks
 //
 // A finding can be suppressed with a justified directive on (or one
 // line above) the flagged line:
@@ -27,6 +31,7 @@ import (
 	"strings"
 
 	"spd3/internal/analysis"
+	_ "spd3/internal/analysis/checkelim" // register the checkelim analyzer
 )
 
 func main() {
@@ -48,8 +53,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	suite := analysis.All()
 	if *list {
-		for _, a := range suite {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		for _, a := range analysis.Registered() {
+			tag := ""
+			if a.OptIn {
+				tag = " (opt-in: run with -analyzers)"
+			}
+			fmt.Fprintf(stdout, "%-12s %s%s\n", a.Name, a.Doc, tag)
 		}
 		return 0
 	}

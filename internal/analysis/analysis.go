@@ -51,6 +51,11 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check over one package.
 	Run func(*Pass) error
+	// OptIn marks an analyzer that must be requested by name (spd3vet
+	// -analyzers) rather than running in the default suite. Optimizers
+	// like checkelim are opt-in: their findings are opportunities, not
+	// soundness violations, so they must not fail a gate that runs All.
+	OptIn bool
 }
 
 // A Pass provides one analyzer run over one package: the syntax, the
@@ -144,33 +149,4 @@ func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-}
-
-// All returns the full analyzer suite in reporting order. The slice is
-// freshly allocated; callers may filter it.
-func All() []*Analyzer {
-	return []*Analyzer{
-		UncheckedAnalyzer,
-		CtxEscapeAnalyzer,
-		RawConcAnalyzer,
-		DeprecatedAnalyzer,
-	}
-}
-
-// ByName resolves a comma-separated analyzer list ("unchecked,rawconc")
-// against the registered suite.
-func ByName(names []string) ([]*Analyzer, error) {
-	byName := make(map[string]*Analyzer)
-	for _, a := range All() {
-		byName[a.Name] = a
-	}
-	var out []*Analyzer
-	for _, n := range names {
-		a, ok := byName[n]
-		if !ok {
-			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
-		}
-		out = append(out, a)
-	}
-	return out, nil
 }

@@ -1,0 +1,139 @@
+// Package atest is the golden-test harness for spd3vet analyzers.
+//
+// Fixture packages under a testdata directory annotate expected
+// findings with line comments of the form `// want "regex"` (or /* want ... */
+// block comments) on the flagged line. Running an analyzer over the
+// fixture must produce exactly the annotated findings — a diagnostic
+// with no want, or a want with no diagnostic, fails the test (matching
+// is bidirectional). Because the wants live with the fixtures,
+// disabling a check turns its wants into missing diagnostics and the
+// test fails.
+//
+// The harness is registry-driven: RegistryGoldens walks the analyzer
+// registry and runs every analyzer that has a fixture directory, so a
+// newly registered analyzer gets golden coverage by dropping fixtures
+// in the conventional place (<root>/<name>/bad), with no test-function
+// wiring.
+package atest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spd3/internal/analysis"
+)
+
+// wantRx extracts the expectation regex from a comment: backquoted or
+// double-quoted after the word "want".
+var wantRx = regexp.MustCompile("want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// parseWants returns the expected-diagnostic regexes per line of f.
+func parseWants(t *testing.T, pkg *analysis.Package, f *ast.File) map[int][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[int][]*regexp.Regexp)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			m := wantRx.FindStringSubmatch(text)
+			if m == nil {
+				t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+			}
+			pat := m[1]
+			if pat[0] == '`' {
+				pat = pat[1 : len(pat)-1]
+			} else if unq, err := strconv.Unquote(pat); err == nil {
+				pat = unq
+			}
+			rx, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			wants[line] = append(wants[line], rx)
+		}
+	}
+	return wants
+}
+
+// RunGolden loads the fixture directory, runs the given analyzers plus
+// the suppression filter, and matches the result against the want
+// annotations.
+func RunGolden(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, _ = analysis.Suppress(pkg, diags)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for line, rxs := range parseWants(t, pkg, f) {
+			wants[key{name, line}] = append(wants[key{name, line}], rxs...)
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", pos, d.Message, d.Analyzer)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("missing diagnostic at %s:%d matching %q", k.file, k.line, rx)
+		}
+	}
+}
+
+// RegistryGoldens runs, as subtests, every registered analyzer whose
+// conventional fixture directory <root>/<name>/bad exists. It returns
+// the analyzer names covered, so callers can assert the walk found
+// what they expect.
+func RegistryGoldens(t *testing.T, root string) []string {
+	t.Helper()
+	var covered []string
+	for _, a := range analysis.All() {
+		dir := filepath.Join(root, a.Name, "bad")
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			continue
+		}
+		covered = append(covered, a.Name)
+		t.Run(a.Name, func(t *testing.T) { RunGolden(t, dir, a) })
+	}
+	return covered
+}

@@ -1,0 +1,332 @@
+package checkelim
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spd3/internal/analysis"
+)
+
+// This file classifies calls and expressions for the walker: which
+// calls are checked container accesses, which are effect-free, and
+// which are barriers; which expressions are pure and stable enough to
+// key a fact.
+
+// callKind is the walker-relevant classification of a call.
+type callKind int
+
+const (
+	// kindBarrier: the call may be a task operation (spawn, finish,
+	// lock), run arbitrary code, or otherwise end the current step.
+	// All facts die.
+	kindBarrier callKind = iota
+	// kindSafe: the call provably performs no task operation and no
+	// container mutation relevant to outstanding facts (pure stdlib,
+	// builtins, conversions, checked accesses on untracked container
+	// kinds, Len/Rows/Cols, Unchecked accessors).
+	kindSafe
+	// kindAccess: a checked Get/Set on a tracked container (Array,
+	// Matrix, Var) — a fact candidate.
+	kindAccess
+)
+
+// An access is a classified checked Get/Set on a tracked container.
+type access struct {
+	call   *ast.CallExpr
+	sel    *ast.SelectorExpr
+	kind   string // "Array", "Matrix", "Var"
+	method string // "Get" or "Set"
+	write  bool
+	// index holds the index argument expressions (after the ctx arg):
+	// one for Array, two for Matrix, none for Var.
+	index []ast.Expr
+	// value is the Set value argument, nil for Get.
+	value ast.Expr
+	// ctx is the Ctx argument expression.
+	ctx ast.Expr
+}
+
+// safeContainerMethods never end the step and never invalidate facts
+// for *other* cells: checked accesses, size queries, and the escape
+// hatches (whose returned aliases matter to rule-2 staleness scans,
+// handled separately, but not to same-cell check redundancy).
+var safeContainerMethods = map[string]bool{
+	"Get": true, "Set": true, "Len": true, "Rows": true, "Cols": true,
+	"Lookup": true, "Delete": true, "Append": true,
+	"Unchecked": true, "UncheckedRow": true, "UncheckedAt": true,
+}
+
+// trackedIndexArgs maps tracked container kinds to their Get index
+// arity (after the leading ctx argument).
+var trackedIndexArgs = map[string]int{"Array": 1, "Matrix": 2, "Var": 0}
+
+// safeBuiltins are builtin calls with no task-visible effect. panic is
+// deliberately absent (divergence ends the straight-line region).
+var safeBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true, "abs": true,
+	"make": true, "new": true, "append": true, "copy": true,
+	"real": true, "imag": true, "complex": true, "delete": true, "clear": true,
+}
+
+// safePkgs are imported packages whose exported functions are pure
+// with respect to tasks and containers.
+var safePkgs = map[string]bool{"math": true, "math/bits": true, "math/cmplx": true}
+
+// classifyCall classifies one call expression. The ok access is only
+// meaningful for kindAccess.
+func classifyCall(info *types.Info, call *ast.CallExpr) (callKind, *access) {
+	// Type conversions are values, not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return kindSafe, nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun]; ok {
+			if b, ok := obj.(*types.Builtin); ok && safeBuiltins[b.Name()] {
+				return kindSafe, nil
+			}
+		}
+		return kindBarrier, nil
+	case *ast.SelectorExpr:
+		// Qualified call into a whitelisted pure package?
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				if safePkgs[pn.Imported().Path()] {
+					return kindSafe, nil
+				}
+				return kindBarrier, nil
+			}
+		}
+		rt := analysis.RecvType(info, call)
+		kind := analysis.ContainerKind(rt)
+		if kind == "" {
+			return kindBarrier, nil
+		}
+		name := fun.Sel.Name
+		if !safeContainerMethods[name] {
+			// Update (runs a callback), Lock/Unlock (task ops), and any
+			// method this table predates.
+			return kindBarrier, nil
+		}
+		arity, tracked := trackedIndexArgs[kind]
+		if !tracked || (name != "Get" && name != "Set") {
+			return kindSafe, nil
+		}
+		// Get: (ctx, index...); Set: (ctx, index..., value).
+		want := 1 + arity
+		if name == "Set" {
+			want++
+		}
+		if len(call.Args) != want {
+			return kindBarrier, nil
+		}
+		a := &access{
+			call:   call,
+			sel:    fun,
+			kind:   kind,
+			method: name,
+			write:  name == "Set",
+			ctx:    call.Args[0],
+			index:  call.Args[1 : 1+arity],
+		}
+		if a.write {
+			a.value = call.Args[len(call.Args)-1]
+		}
+		return kindAccess, a
+	default:
+		// Calling a function value, method value, or immediate literal.
+		return kindBarrier, nil
+	}
+}
+
+// pkgFacts is the once-per-package context the purity check leans on:
+// which objects are ever reassigned or address-taken anywhere in the
+// package.
+type pkgFacts struct {
+	info *types.Info
+	// pkg is the package under analysis; variables from other packages
+	// were not covered by the assignment scan and never anchor facts.
+	pkg *types.Package
+	// assigned holds every object appearing as an assignment target
+	// (plain, op-assign, inc/dec, range variable) after its
+	// declaration, keyed so outer-scope dependencies can require
+	// effectively-final objects.
+	assigned map[types.Object]bool
+	// addrTaken holds every object whose address is taken: writes
+	// through the pointer are invisible to the walker's kill tracking,
+	// so such objects can never anchor a fact.
+	addrTaken map[types.Object]bool
+}
+
+// scanPackage computes pkgFacts over all files.
+func scanPackage(pkg *analysis.Package) *pkgFacts {
+	pf := &pkgFacts{
+		info:      pkg.Info,
+		pkg:       pkg.Types,
+		assigned:  make(map[types.Object]bool),
+		addrTaken: make(map[types.Object]bool),
+	}
+	mark := func(e ast.Expr, m map[types.Object]bool) {
+		if obj := rootObject(pkg.Info, e); obj != nil {
+			m[obj] = true
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true // declarations aren't reassignments
+				}
+				for _, lhs := range n.Lhs {
+					mark(lhs, pf.assigned)
+				}
+			case *ast.IncDecStmt:
+				mark(n.X, pf.assigned)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					mark(n.X, pf.addrTaken)
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.ASSIGN {
+					mark(n.Key, pf.assigned)
+					mark(n.Value, pf.assigned)
+				}
+			}
+			return true
+		})
+	}
+	return pf
+}
+
+// rootObject resolves the base object an lvalue-ish expression writes
+// through: the x in x, x.f, x[i], *x, chains thereof.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pureKey renders e as a canonical fact-key fragment and collects the
+// variable objects it depends on. ok is false when e is not pure
+// (calls, channel ops, unstable constructs) — such expressions can
+// never key a fact.
+//
+// Identifiers render with their declaration position baked in, so two
+// same-spelled names in different scopes never collide on one key.
+func pureKey(info *types.Info, e ast.Expr) (key string, deps []types.Object, ok bool) {
+	var sb strings.Builder
+	var walk func(e ast.Expr) bool
+	walk = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil {
+				return false
+			}
+			switch obj.(type) {
+			case *types.Const, *types.Nil:
+				fmt.Fprintf(&sb, "%s", x.Name)
+			case *types.Var:
+				fmt.Fprintf(&sb, "%s@%d", x.Name, obj.Pos())
+				deps = append(deps, obj)
+			case *types.PkgName:
+				fmt.Fprintf(&sb, "%s", x.Name)
+			default:
+				return false
+			}
+			return true
+		case *ast.BasicLit:
+			sb.WriteString(x.Value)
+			return true
+		case *ast.ParenExpr:
+			return walk(x.X)
+		case *ast.UnaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB, token.XOR, token.NOT:
+				sb.WriteString(x.Op.String())
+				return walk(x.X)
+			}
+			return false
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+				token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+				sb.WriteString("(")
+				if !walk(x.X) {
+					return false
+				}
+				sb.WriteString(x.Op.String())
+				if !walk(x.Y) {
+					return false
+				}
+				sb.WriteString(")")
+				return true
+			}
+			return false
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok {
+				// Only plain field reads are pure; method values are not.
+				if sel.Kind() != types.FieldVal {
+					return false
+				}
+			} else {
+				// Qualified identifier pkg.Name: a const is stable; a
+				// package-level var is a dependency like any other.
+				obj := info.Uses[x.Sel]
+				switch obj.(type) {
+				case *types.Const:
+				case *types.Var:
+					deps = append(deps, obj)
+				default:
+					return false
+				}
+			}
+			if !walk(x.X) {
+				return false
+			}
+			sb.WriteString("." + x.Sel.Name)
+			return true
+		case *ast.IndexExpr:
+			if !walk(x.X) {
+				return false
+			}
+			sb.WriteString("[")
+			if !walk(x.Index) {
+				return false
+			}
+			sb.WriteString("]")
+			return true
+		default:
+			return false
+		}
+	}
+	if !walk(e) {
+		return "", nil, false
+	}
+	return sb.String(), deps, true
+}

@@ -1,0 +1,244 @@
+package checkelim
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"spd3/internal/analysis"
+)
+
+// Rule 2: a checked read in a sequential loop with loop-invariant
+// receiver, ctx, and index hoists to a single checked read into a
+// fresh local above the loop. Soundness needs four things, each
+// checked here:
+//
+//   - The loop body (and init/cond/post) is barrier-free, so every
+//     iteration's check runs in the same DPST step as the hoisted one
+//     and is subsumed by it.
+//   - The loop provably runs at least once (constant-foldable bounds,
+//     or no condition), so the hoisted check never reports where the
+//     original program checked nothing.
+//   - The key is invariant: no dependency is assigned in the loop or
+//     declared inside it.
+//   - The container is never written or aliased (Set/Update/
+//     Unchecked*) anywhere in the loop, so the cached value stays
+//     equal to the cell in every race-free execution. (In racy
+//     executions the cached value may differ from a concurrent
+//     writer's — the verdict and race set are unaffected, but the
+//     data read through the local is the hoist-time value; DESIGN §9
+//     records this caveat.)
+//
+// Only occurrences outside nested function literals are replaced: a
+// closure body may run on a different task later, where the hoisted
+// check's step no longer dominates.
+type hoistGroup struct {
+	key     string
+	recvKey string
+	kind    string
+	deps    []types.Object
+	occs    []*access
+	// hasUncond: at least one occurrence executes unconditionally every
+	// iteration, so the original program performed at least one check.
+	hasUncond bool
+}
+
+func (w *walker) hoistLoop(s *ast.ForStmt, eff *effects) {
+	if eff.barrier {
+		return
+	}
+	effInit := scanEffects(w.info, s.Init)
+	if effInit.barrier {
+		return
+	}
+	if !provableEntry(w.info, s) {
+		return
+	}
+	groups, dirty, dirtyUnknown := w.collectHoistGroups(s.Body)
+	for _, g := range groups {
+		invariant := true
+		for _, d := range g.deps {
+			if eff.killed[d] || effInit.killed[d] ||
+				(d.Pos() >= s.Pos() && d.Pos() < s.End()) {
+				invariant = false
+				break
+			}
+		}
+		if !invariant {
+			continue // an ordinary varying-index read, not a near-miss
+		}
+		first := g.occs[0].call.Pos()
+		if dirtyUnknown || dirty[g.recvKey] {
+			w.skipf(first, RuleHoist, "loop-invariant read not hoisted: container written or aliased inside the loop")
+			continue
+		}
+		if !g.hasUncond {
+			w.skipf(first, RuleHoist, "loop-invariant read not hoisted: no unconditional occurrence in the loop body")
+			continue
+		}
+		w.fb.addHoist(s, g)
+	}
+}
+
+// collectHoistGroups gathers the loop body's checked reads grouped by
+// access key (skipping nested function literals), plus the receivers
+// the body writes or aliases.
+func (w *walker) collectHoistGroups(body *ast.BlockStmt) (groups []*hoistGroup, dirty map[string]bool, dirtyUnknown bool) {
+	// Conditional spans: an occurrence inside one may execute zero
+	// times per iteration.
+	var condSpans, litSpans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litSpans = append(litSpans, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.IfStmt:
+			condSpans = append(condSpans, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			if n.Else != nil {
+				condSpans = append(condSpans, [2]token.Pos{n.Else.Pos(), n.Else.End()})
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			condSpans = append(condSpans, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.BinaryExpr:
+			if n.Op == token.LAND || n.Op == token.LOR {
+				condSpans = append(condSpans, [2]token.Pos{n.Y.Pos(), n.Y.End()})
+			}
+		}
+		return true
+	})
+	inSpans := func(spans [][2]token.Pos, pos token.Pos) bool {
+		for _, sp := range spans {
+			if pos >= sp[0] && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	dirty = make(map[string]bool)
+	byKey := make(map[string]*hoistGroup)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Receivers the loop writes or aliases (full descent — a
+		// closure defined here could be invoked here).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			if (name == "Set" || name == "Update" || uncheckedNames[name]) &&
+				analysis.ContainerKind(analysis.RecvType(w.info, call)) != "" {
+				if rk, _, ok := pureKey(w.info, sel.X); ok {
+					dirty[rk] = true
+				} else {
+					dirtyUnknown = true
+				}
+			}
+		}
+		if inSpans(litSpans, call.Pos()) {
+			return true // a separate region; never replaced
+		}
+		kind, acc := classifyCall(w.info, call)
+		if kind != kindAccess || acc.write {
+			return true
+		}
+		key, deps, ok := w.accessKey(acc)
+		if !ok {
+			return true
+		}
+		g := byKey[key]
+		if g == nil {
+			rk, _, _ := pureKey(w.info, acc.sel.X)
+			g = &hoistGroup{key: key, recvKey: rk, kind: acc.kind, deps: deps}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.occs = append(g.occs, acc)
+		if !inSpans(condSpans, call.Pos()) {
+			g.hasUncond = true
+		}
+		return true
+	})
+	return groups, dirty, dirtyUnknown
+}
+
+var uncheckedNames = map[string]bool{"Unchecked": true, "UncheckedRow": true, "UncheckedAt": true}
+
+// provableEntry reports whether the loop provably executes its body at
+// least once: no condition at all, or a `for i := lo; i OP hi` header
+// whose bounds constant-fold to a true entry test.
+func provableEntry(info *types.Info, s *ast.ForStmt) bool {
+	if s.Cond == nil {
+		return true
+	}
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		return false
+	}
+	lo := constVal(info, init.Rhs[0])
+	if lo == nil {
+		return false
+	}
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	op, bound := cond.Op, ast.Expr(nil)
+	switch {
+	case usesObj(info, cond.X, obj):
+		bound = cond.Y
+	case usesObj(info, cond.Y, obj):
+		bound = cond.X
+		op = mirrorOp(op)
+	default:
+		return false
+	}
+	hi := constVal(info, bound)
+	if hi == nil {
+		return false
+	}
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+		defer func() { recover() }() // mismatched constant kinds cannot compare
+		return constant.Compare(lo, op, hi)
+	}
+	return false
+}
+
+// constVal returns e's constant-folded value, nil when not constant.
+func constVal(info *types.Info, e ast.Expr) constant.Value {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return tv.Value
+	}
+	return nil
+}
+
+// usesObj reports whether e is (possibly parenthesized) exactly an
+// identifier resolving to obj.
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// mirrorOp flips a comparison whose operands were swapped.
+func mirrorOp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}

@@ -1,0 +1,37 @@
+// Package dup exercises rule 1: second same-cell accesses with no
+// intervening barrier and stable operands are dominated duplicates.
+package dup
+
+import "spd3"
+
+func pairs(eng *spd3.Engine) {
+	a := spd3.NewArray[int](eng, "a", 64)
+	m := spd3.NewMatrix[float64](eng, "m", 8, 8)
+	v := spd3.NewVar[int](eng, "v", 0)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(4, func(c *spd3.Ctx, i int) {
+			x := a.Get(c, i)
+			y := a.Get(c, i) // want `redundant read check: cell already read-checked at line \d+ in the same step`
+			a.Set(c, i, x+y)
+			a.Set(c, i, x*y) // want `redundant write check: cell already write-checked at line \d+ in the same step`
+			m.Set(c, i, 0, float64(x))
+			m.Set(c, i, 0, float64(y)) // want `redundant write check: cell already write-checked at line \d+ in the same step`
+			_ = m.Get(c, i, 1)
+			_ = m.Get(c, i, 1) // want `redundant read check: cell already read-checked at line \d+ in the same step`
+			v.Set(c, x)
+			v.Set(c, y) // want `redundant write check: cell already write-checked at line \d+ in the same step`
+		})
+	})
+}
+
+// nested: a dominated Get inside a dominated Set's argument — both
+// rewrite, spliced into one edit.
+func nested(eng *spd3.Engine) {
+	a := spd3.NewArray[int](eng, "a2", 8)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, i int) {
+			a.Set(c, i, a.Get(c, i))
+			a.Set(c, i, a.Get(c, i)+1) /* want `redundant write check` */ /* want `redundant read check` */
+		})
+	})
+}

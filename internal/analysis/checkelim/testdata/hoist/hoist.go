@@ -1,0 +1,34 @@
+// Package hoist exercises rule 2: loop-invariant checked reads in
+// provably-entered, barrier-free loops hoist to one check above the
+// loop.
+package hoist
+
+import "spd3"
+
+func dots(eng *spd3.Engine) {
+	x := spd3.NewArray[float64](eng, "x", 100)
+	s := spd3.NewVar[float64](eng, "s", 2.0)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.ParallelFor(0, 4, 1, func(c *spd3.Ctx, p int) {
+			acc := 0.0
+			for i := 0; i < 25; i++ {
+				acc += x.Get(c, p*25+i) * s.Get(c) // want `loop-invariant read check in a provably-entered, barrier-free loop`
+			}
+			x.Set(c, p, acc)
+		})
+	})
+}
+
+// relax: the grid itself is written in the loop, so g.Get stays; the
+// invariant w.Get hoists.
+func relax(eng *spd3.Engine) {
+	g := spd3.NewMatrix[float64](eng, "g", 10, 10)
+	w := spd3.NewVar[float64](eng, "w", 0.5)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, t int) {
+			for j := 1; j <= 8; j++ {
+				g.Set(c, t+1, j, g.Get(c, t+1, j)*w.Get(c)) // want `loop-invariant read check in a provably-entered, barrier-free loop`
+			}
+		})
+	})
+}

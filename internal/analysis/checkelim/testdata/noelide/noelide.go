@@ -1,0 +1,71 @@
+// Package noelide holds accesses that look redundant but are not
+// provably so: anything the eliminator flags here is a soundness bug.
+// There are no want annotations — the golden harness fails on any
+// diagnostic.
+package noelide
+
+import "spd3"
+
+func barriers(eng *spd3.Engine) {
+	a := spd3.NewArray[int](eng, "a", 16)
+	mu := spd3.NewMutex(eng)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			// A spawn between the accesses forks the DPST: the second
+			// check runs in a different step.
+			_ = a.Get(c, 0)
+			c.Async(func(c *spd3.Ctx) { a.Set(c, 1, 1) })
+			_ = a.Get(c, 0)
+
+			// A lock acquire ends the step (the paper's lock-aware
+			// extension treats critical sections as separate steps).
+			_ = a.Get(c, 2)
+			mu.Lock(c)
+			_ = a.Get(c, 2)
+			mu.Unlock(c)
+
+			// The index operand is reassigned: same text, different cell.
+			i := 3
+			_ = a.Get(c, i)
+			i = 4
+			_ = a.Get(c, i)
+
+			// An Update runs a callback the walker cannot see through.
+			_ = a.Get(c, 5)
+			a.Update(c, 5, func(v int) int { return v + 1 })
+			_ = a.Get(c, 5)
+		})
+		// A nested task closure is its own region: the pre-spawn check
+		// does not dominate it.
+		_ = a.Get(c, 6)
+		c.Finish(func(c *spd3.Ctx) {
+			c.Async(func(c *spd3.Ctx) { _ = a.Get(c, 6) })
+		})
+	})
+}
+
+// varying: a loop read whose index depends on the loop variable is
+// not invariant, and a conditional-only invariant read must not hoist
+// (the loop may never execute the check).
+func varying(eng *spd3.Engine) {
+	x := spd3.NewArray[int](eng, "x", 8)
+	f := spd3.NewVar[int](eng, "f", 1)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.Finish(func(c *spd3.Ctx) {
+			t := 0
+			for i := 0; i < 8; i++ {
+				t += x.Get(c, i)
+				if t > 100 {
+					t -= f.Get(c)
+				}
+			}
+			x.Set(c, 0, t)
+			// Unprovable entry: bound is a runtime value.
+			n := t
+			for i := 0; i < n; i++ {
+				t += f.Get(c)
+			}
+			x.Set(c, 1, t)
+		})
+	})
+}

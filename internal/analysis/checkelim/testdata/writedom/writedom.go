@@ -1,0 +1,16 @@
+// Package writedom exercises rule 3 (opt-in): a read of a cell the
+// same step already wrote. The golden test runs a WriteDom-enabled
+// analyzer; the default analyzer must instead record a skip here.
+package writedom
+
+import "spd3"
+
+func writeThenRead(eng *spd3.Engine) {
+	u := spd3.NewArray[int](eng, "u", 4)
+	_, _ = eng.Run(func(c *spd3.Ctx) {
+		c.FinishAsync(2, func(c *spd3.Ctx, i int) {
+			u.Set(c, i, i*2)
+			_ = u.Get(c, i) // want `redundant read check: cell already write-checked at line \d+ in the same step \(verdict-preserving elision\)`
+		})
+	})
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The spd3opt elision marker: checkelim's fixes rewrite a provably
+// redundant checked access to its Unchecked form and stamp the line
+// with
+//
+//	//spd3opt:elided dominated-by L<line>
+//
+// naming the dominating checked access. The unchecked analyzer trusts
+// the marker: an Unchecked call on a marked line is a machine-written
+// §5.5 elision backed by a same-step dominating check, not a
+// programmer-opened soundness hole, so it is not flagged. Hand-writing
+// the marker asserts the same proof obligation by hand — equivalent to
+// a //spd3vet:ignore with the proof as the reason.
+const ElidedMarker = "spd3opt:elided"
+
+// elidedLines returns the set of lines in f carrying an elision marker
+// (in fset coordinates). Unlike spd3vet:ignore directives the marker
+// covers only its own line: fixes append it to the rewritten access's
+// line, and trusting a neighbor would widen the hole.
+func elidedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//"+ElidedMarker) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

@@ -1,151 +1,65 @@
-package analysis
+package analysis_test
 
 import (
 	"fmt"
-	"go/ast"
-	"regexp"
-	"strconv"
+	"sort"
 	"strings"
 	"testing"
+
+	"spd3/internal/analysis"
+	"spd3/internal/analysis/atest"
 )
 
-// The golden harness: fixture packages under testdata annotate expected
-// findings with `// want `+"`regex`"+`` comments (or /* want ... */
-// block comments) on the flagged line. Running an analyzer over the
-// fixture must produce exactly the annotated findings — a diagnostic
-// with no want, or a want with no diagnostic, fails the test. Because
-// the wants live with the fixtures, disabling a check turns its wants
-// into missing diagnostics and the test fails.
-
-// wantRx extracts the expectation regex from a comment: backquoted or
-// double-quoted after the word "want".
-var wantRx = regexp.MustCompile("want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
-
-// parseWants returns the expected-diagnostic regexes per line of f.
-func parseWants(t *testing.T, pkg *Package, f *ast.File) map[int][]*regexp.Regexp {
-	t.Helper()
-	wants := make(map[int][]*regexp.Regexp)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
-			if !strings.HasPrefix(text, "want ") {
-				continue
-			}
-			m := wantRx.FindStringSubmatch(text)
-			if m == nil {
-				t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
-			}
-			pat := m[1]
-			if pat[0] == '`' {
-				pat = pat[1 : len(pat)-1]
-			} else if unq, err := strconv.Unquote(pat); err == nil {
-				pat = unq
-			}
-			rx, err := regexp.Compile(pat)
-			if err != nil {
-				t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
-			}
-			line := pkg.Fset.Position(c.Pos()).Line
-			wants[line] = append(wants[line], rx)
+// TestRegistryGoldens drives the known-bad fixtures from the analyzer
+// registry: every registered analyzer with a testdata/<name>/bad
+// directory runs as a subtest, and the built-in suite must all be
+// covered — an analyzer whose fixtures go missing fails here rather
+// than silently losing coverage.
+func TestRegistryGoldens(t *testing.T) {
+	covered := atest.RegistryGoldens(t, "testdata")
+	sort.Strings(covered)
+	want := []string{"ctxescape", "deprecated", "rawconc", "unchecked"}
+	for _, name := range want {
+		found := false
+		for _, c := range covered {
+			found = found || c == name
+		}
+		if !found {
+			t.Errorf("registry golden walk missed %s (covered: %v)", name, covered)
 		}
 	}
-	return wants
-}
-
-// runGolden loads the fixture directory, runs the given analyzers plus
-// the suppression filter, and matches the result against the want
-// annotations.
-func runGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
-	t.Helper()
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg, err := loader.LoadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if pkg == nil {
-		t.Fatalf("no Go files in %s", dir)
-	}
-	diags, err := Run(pkg, analyzers)
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, _ = Suppress(pkg, diags)
-
-	type key struct {
-		file string
-		line int
-	}
-	wants := make(map[key][]*regexp.Regexp)
-	for _, f := range pkg.Files {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		for line, rxs := range parseWants(t, pkg, f) {
-			wants[key{name, line}] = append(wants[key{name, line}], rxs...)
-		}
-	}
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		k := key{pos.Filename, pos.Line}
-		matched := -1
-		for i, rx := range wants[k] {
-			if rx.MatchString(d.Message) {
-				matched = i
-				break
-			}
-		}
-		if matched < 0 {
-			t.Errorf("unexpected diagnostic at %s: %s [%s]", pos, d.Message, d.Analyzer)
-			continue
-		}
-		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
-	}
-	for k, rxs := range wants {
-		for _, rx := range rxs {
-			t.Errorf("missing diagnostic at %s:%d matching %q", k.file, k.line, rx)
-		}
-	}
-}
-
-func TestUncheckedGolden(t *testing.T) {
-	runGolden(t, "testdata/unchecked/bad", UncheckedAnalyzer)
 }
 
 func TestUncheckedNoFalsePositives(t *testing.T) {
 	// The safe fixture has no want annotations: any diagnostic fails.
-	runGolden(t, "testdata/unchecked/safe", All()...)
+	atest.RunGolden(t, "testdata/unchecked/safe", analysis.All()...)
 }
 
-func TestCtxEscapeGolden(t *testing.T) {
-	runGolden(t, "testdata/ctxescape/bad", CtxEscapeAnalyzer)
-}
-
-func TestRawConcGolden(t *testing.T) {
-	runGolden(t, "testdata/rawconc/bad", RawConcAnalyzer)
-}
-
-func TestDeprecatedGolden(t *testing.T) {
-	runGolden(t, "testdata/deprecated/bad", DeprecatedAnalyzer)
+func mustLookup(t *testing.T, name string) *analysis.Analyzer {
+	t.Helper()
+	a, ok := analysis.Lookup(name)
+	if !ok {
+		t.Fatalf("analyzer %q not registered", name)
+	}
+	return a
 }
 
 func TestDeprecatedClientGolden(t *testing.T) {
-	runGolden(t, "testdata/deprecated/movedclient", DeprecatedAnalyzer)
+	atest.RunGolden(t, "testdata/deprecated/movedclient", mustLookup(t, "deprecated"))
 }
 
 func TestDeprecatedEngineScopedGolden(t *testing.T) {
-	runGolden(t, "testdata/deprecated/enginescoped", DeprecatedAnalyzer)
+	atest.RunGolden(t, "testdata/deprecated/enginescoped", mustLookup(t, "deprecated"))
 }
 
 func TestSuppressGolden(t *testing.T) {
-	runGolden(t, "testdata/suppress/bad", RawConcAnalyzer)
+	atest.RunGolden(t, "testdata/suppress/bad", mustLookup(t, "rawconc"))
 }
 
 // TestSuppressCounts pins the mechanics the golden matcher can't see:
 // the justified directive suppresses exactly one finding.
 func TestSuppressCounts(t *testing.T) {
-	loader, err := NewLoader(".")
+	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +67,11 @@ func TestSuppressCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(pkg, []*Analyzer{RawConcAnalyzer})
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{mustLookup(t, "rawconc")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kept, suppressed := Suppress(pkg, diags)
+	kept, suppressed := analysis.Suppress(pkg, diags)
 	if suppressed != 1 {
 		t.Errorf("suppressed = %d, want 1", suppressed)
 	}
@@ -172,7 +86,7 @@ func TestSuppressCounts(t *testing.T) {
 // the known-bad unchecked fixture reports the capture on the exact
 // line and column of the captured identifier.
 func TestDiagnosticPositions(t *testing.T) {
-	loader, err := NewLoader(".")
+	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +94,7 @@ func TestDiagnosticPositions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(pkg, []*Analyzer{UncheckedAnalyzer})
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{mustLookup(t, "unchecked")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,10 +110,36 @@ func TestDiagnosticPositions(t *testing.T) {
 	}
 }
 
+// TestRegistryLookup pins the registry surface the drivers build on:
+// All returns a fresh slice, Lookup and ByName resolve registered
+// names and reject unknown ones.
+func TestRegistryLookup(t *testing.T) {
+	all := analysis.All()
+	if len(all) < 4 {
+		t.Fatalf("All() = %d analyzers, want at least the built-in 4", len(all))
+	}
+	all[0] = nil
+	if analysis.All()[0] == nil {
+		t.Error("All() returned an aliased slice: caller mutation leaked into the registry")
+	}
+	for _, name := range []string{"unchecked", "ctxescape", "rawconc", "deprecated"} {
+		if _, ok := analysis.Lookup(name); !ok {
+			t.Errorf("Lookup(%q) missed a built-in analyzer", name)
+		}
+	}
+	if _, err := analysis.ByName([]string{"unchecked", "nosuch"}); err == nil {
+		t.Error("ByName accepted an unknown analyzer name")
+	}
+	got, err := analysis.ByName([]string{"rawconc", "unchecked"})
+	if err != nil || len(got) != 2 || got[0].Name != "rawconc" || got[1].Name != "unchecked" {
+		t.Errorf("ByName order/content wrong: %v, %v", got, err)
+	}
+}
+
 // TestJSONEnvelope pins the wire format: the same tool/version header
 // over a findings array that the other commands' -stats dumps use.
 func TestJSONEnvelope(t *testing.T) {
-	loader, err := NewLoader(".")
+	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,12 +147,12 @@ func TestJSONEnvelope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(pkg, []*Analyzer{DeprecatedAnalyzer})
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{mustLookup(t, "deprecated")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := NewJSONReport(pkg.Fset, diags)
-	if rep.Tool != "spd3vet" || rep.Version != Version {
+	rep := analysis.NewJSONReport(pkg.Fset, diags)
+	if rep.Tool != "spd3vet" || rep.Version != analysis.Version {
 		t.Errorf("envelope header = %q/%q", rep.Tool, rep.Version)
 	}
 	if len(rep.Findings) != 3 {
@@ -224,10 +164,10 @@ func TestJSONEnvelope(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := WriteJSON(&sb, pkg.Fset, diags); err != nil {
+	if err := analysis.WriteJSON(&sb, pkg.Fset, diags); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"tool": "spd3vet"`, `"findings"`, fmt.Sprintf("%q", Version)} {
+	for _, want := range []string{`"tool": "spd3vet"`, `"findings"`, fmt.Sprintf("%q", analysis.Version)} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("JSON output missing %s:\n%s", want, sb.String())
 		}

@@ -34,8 +34,8 @@ func TestLoaderPatternWalkSkipsTestdata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 2 {
-		t.Fatalf("loaded %d packages under internal/analysis, want 2 (analysis + rewrite, testdata skipped)", len(pkgs))
+	if len(pkgs) != 4 {
+		t.Fatalf("loaded %d packages under internal/analysis, want 4 (analysis + atest + checkelim + rewrite, testdata skipped)", len(pkgs))
 	}
 	if pkgs[0].Path != "spd3/internal/analysis" {
 		t.Errorf("path = %q", pkgs[0].Path)

@@ -207,6 +207,28 @@ func TaskClosures(pkg *Package) []TaskClosure {
 // (spd3.Ctx / task.Ctx).
 func IsCtx(t types.Type) bool { return isCtx(t) }
 
+// ContainerKind returns the bare name of the instrumented container
+// type t ("Array", "Matrix", "Var", "List", "Map", "Mutex"), or ""
+// when t is not (a pointer to) one of them.
+func ContainerKind(t types.Type) string {
+	for _, name := range [...]string{"Array", "Matrix", "Var", "List", "Map", "Mutex"} {
+		if namedIn(t, memPkgPath, name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// RecvType returns the type of a method call's receiver expression, or
+// nil when the call is not a selector call or the receiver did not
+// type-check.
+func RecvType(info *types.Info, call *ast.CallExpr) types.Type {
+	return recvType(info, call)
+}
+
+// IsRuntime reports whether t is (a pointer to) task.Runtime.
+func IsRuntime(t types.Type) bool { return namedIn(t, taskPkgPath, "Runtime") }
+
 // IsEngine reports whether t is (a pointer to) spd3.Engine.
 func IsEngine(t types.Type) bool { return namedIn(t, rootPkgPath, "Engine") }
 

@@ -75,6 +75,20 @@ func runUnchecked(pass *Pass) error {
 		})
 	}
 
+	// Lines carrying a //spd3opt:elided marker hold machine-written
+	// §5.5 elisions: the Unchecked call there is backed by a dominating
+	// checked access in the same step (see ElidedMarker), so it is not
+	// an instrumentation hole.
+	elided := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		elided[name] = elidedLines(pass.Fset, f)
+	}
+	isElided := func(pos token.Pos) bool {
+		p := pass.Fset.Position(pos)
+		return elided[p.Filename][p.Line]
+	}
+
 	// Pass 2: inside every spawned closure, flag direct Unchecked*
 	// calls and captured tainted variables.
 	reported := make(map[token.Pos]bool)
@@ -86,7 +100,7 @@ func runUnchecked(pass *Pass) error {
 		ast.Inspect(tc.lit.Body, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				if name, ok := isUncheckedCall(pass.Info, n); ok && !reported[n.Pos()] {
+				if name, ok := isUncheckedCall(pass.Info, n); ok && !reported[n.Pos()] && !isElided(n.Pos()) {
 					reported[n.Pos()] = true
 					pass.Reportf(n.Pos(),
 						"%s() inside a task spawned by %s bypasses instrumentation: the detector cannot see these accesses and its race-freedom certificate no longer covers them",

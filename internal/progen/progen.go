@@ -41,6 +41,11 @@ const (
 	// Locked runs its children (accesses only) holding lock Var.
 	// Bodies contain no task operations, so no schedule can deadlock.
 	Locked
+	// Loop runs its children Var times in sequence (Var holds the trip
+	// count, not a variable index). Generated only under Config.Loops;
+	// rendered as a counted for-loop with constant bounds, which is
+	// exactly the shape the §5.5 eliminator's hoist rule targets.
+	Loop
 )
 
 // Node is one program node.
@@ -77,6 +82,12 @@ type Config struct {
 	// critical sections around access runs. Lock-order ground truth is
 	// per observed trace; compare against FastTrack, not SPD3.
 	Locks int
+
+	// Loops adds counted sequential loops (2–4 trips) over generated
+	// statement lists. Loops change no concurrency structure — their
+	// bodies run in the spawning task — but give the static check
+	// eliminator loop-invariant accesses to hoist.
+	Loops bool
 }
 
 // Generate builds a random program from seed.
@@ -147,6 +158,10 @@ func (g *generator) stmt(depth int) *Node {
 			n.Children = append(n.Children, g.access())
 		}
 		return n
+	case g.cfg.Loops && depth < g.cfg.MaxDepth && r < 62:
+		n := &Node{Op: Loop, Var: 2 + g.rng.Intn(3)}
+		g.fill(n, depth+1)
+		return n
 	case r < 70:
 		return g.accessKind(Read)
 	default:
@@ -212,6 +227,10 @@ func (e *execEnv) execNode(c *task.Ctx, n *Node) {
 		e.execList(c, n.Children)
 		c.Release(e.locks[n.Var])
 		e.mus[n.Var].Unlock()
+	case Loop:
+		for i := 0; i < n.Var; i++ {
+			e.execList(c, n.Children)
+		}
 	case Read:
 		if e.hook != nil {
 			e.hook(c, n.Site, false)
@@ -255,6 +274,12 @@ func (p *Program) String() string {
 				walk(ch, indent+"  ")
 			}
 			fmt.Fprintf(&b, "%s}\n", indent)
+		case Loop:
+			fmt.Fprintf(&b, "%sloop %d {\n", indent, n.Var)
+			for _, ch := range n.Children {
+				walk(ch, indent+"  ")
+			}
+			fmt.Fprintf(&b, "%s}\n", indent)
 		case Read:
 			fmt.Fprintf(&b, "%s_ = v[%d] // site %d\n", indent, n.Var, n.Site)
 		case Write:
@@ -265,7 +290,8 @@ func (p *Program) String() string {
 	return b.String()
 }
 
-// Stats summarizes a program's shape.
+// Stats summarizes a program's shape. Loops count as statements of the
+// task that runs them; accesses counts static sites, not executions.
 func (p *Program) Stats() (asyncs, finishes, accesses int) {
 	var walk func(n *Node)
 	walk = func(n *Node) {

@@ -174,6 +174,16 @@ const (
 	// quota (queue depth, stored bytes, or the submission token bucket).
 	QuotaDenied
 
+	// ChecksElidedStatic counts container access sites whose dynamic
+	// race check was removed at compile time by the §5.5 static
+	// eliminator (cmd/spd3inst's checkelim post-pass). It is a property
+	// of the compiled program, not of one run: rewritten packages
+	// register their site count once via AddStaticElided (from a
+	// generated init), and Snapshot folds the process-wide total into
+	// every snapshot so reports show how much checking the optimizer
+	// proved away.
+	ChecksElidedStatic
+
 	// NumCounters is the number of Counter values; not itself a
 	// counter.
 	NumCounters
@@ -220,7 +230,22 @@ var counterNames = [NumCounters]string{
 	StoreSweptJobs:       "store.swept_jobs",
 	StoreSweptBlobs:      "store.swept_blobs",
 	QuotaDenied:          "quota.denied",
+	ChecksElidedStatic:   "mem.checks_elided_static",
 }
+
+// staticElided is the process-wide tally of statically elided check
+// sites; see ChecksElidedStatic. It lives outside any Recorder because
+// the sites are removed before any Engine exists, and it survives
+// Recorder.Reset for the same reason.
+var staticElided atomic.Int64
+
+// AddStaticElided records n container access sites whose checks were
+// removed at compile time. Generated code (cmd/spd3inst's stamped
+// zz_spd3opt.go) calls this from an init via spd3.RegisterStaticElided.
+func AddStaticElided(n int64) { staticElided.Add(n) }
+
+// StaticElided returns the process-wide statically-elided site count.
+func StaticElided() int64 { return staticElided.Load() }
 
 // String returns the counter's stable wire name.
 func (c Counter) String() string {
@@ -480,6 +505,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			s.CASRetryHist[b] += sh.hists[HistCASRetry][b].Load()
 		}
 	}
+	s.Counters[ChecksElidedStatic] += staticElided.Load()
 	r.mu.Lock()
 	regions := append([]*Region(nil), r.regions...)
 	r.mu.Unlock()

@@ -403,3 +403,12 @@ type Accumulator[T any] = mem.Accumulator[T]
 func NewAccumulator[T any](e *Engine, combine func(a, b T) T) *Accumulator[T] {
 	return mem.NewAccumulator(e.rt, combine)
 }
+
+// RegisterStaticElided records n container access sites whose dynamic
+// race checks were removed at compile time by the §5.5 static check
+// eliminator (cmd/spd3inst's checkelim post-pass, or spd3vet -fix).
+// Optimized packages carry a generated init that calls this once; every
+// Report.Stats then exposes the process-wide total under the
+// mem.checks_elided_static counter, so the measured dynamic check
+// counts can be read against what the optimizer proved away.
+func RegisterStaticElided(n int) { stats.AddStaticElided(int64(n)) }
