@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -36,6 +37,11 @@ type Client struct {
 	// Tenant, when set, is sent as the X-SPD3-Tenant header on every
 	// request, scoping jobs and quotas to that tenant.
 	Tenant string
+	// Sample, when set, is sent as the sample= query parameter on
+	// Analyze and SubmitJob: a sampling spec like "bernoulli:0.01" or
+	// "burst:0.02" overriding the daemon's per-tenant sampling config
+	// for this client's submissions ("off" forces every check to run).
+	Sample string
 }
 
 // New returns a client for the daemon at baseURL.
@@ -148,24 +154,36 @@ type Detector struct {
 
 // Statsz is the /statsz response.
 type Statsz struct {
-	Tool           string        `json:"tool"`
-	Version        string        `json:"version"`
-	UptimeSeconds  float64       `json:"uptime_seconds"`
-	InFlight       int           `json:"in_flight"`
-	MaxInFlight    int           `json:"max_in_flight"`
-	Draining       bool          `json:"draining"`
-	ShardWorkers   int           `json:"shard_workers"`
-	ShardBusy      int           `json:"shard_busy"`
-	JobsQueued     int           `json:"jobs_queued"`
-	JobsRunning    int           `json:"jobs_running"`
-	JobsTotal      int           `json:"jobs_total"`
-	StoreBlobs     int           `json:"store_blobs"`
-	StoreBytes     int64         `json:"store_bytes"`
-	HeapAllocBytes uint64        `json:"heap_alloc_bytes"`
-	SysBytes       uint64        `json:"sys_bytes"`
-	PeakHeapBytes  uint64        `json:"peak_heap_bytes"`
-	PeakRSSBytes   int64         `json:"peak_rss_bytes"`
-	Stats          StatsSnapshot `json:"stats"`
+	Tool           string  `json:"tool"`
+	Version        string  `json:"version"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	InFlight       int     `json:"in_flight"`
+	MaxInFlight    int     `json:"max_in_flight"`
+	Draining       bool    `json:"draining"`
+	ShardWorkers   int     `json:"shard_workers"`
+	ShardBusy      int     `json:"shard_busy"`
+	JobsQueued     int     `json:"jobs_queued"`
+	JobsRunning    int     `json:"jobs_running"`
+	JobsTotal      int     `json:"jobs_total"`
+	StoreBlobs     int     `json:"store_blobs"`
+	StoreBytes     int64   `json:"store_bytes"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	SysBytes       uint64  `json:"sys_bytes"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+	PeakRSSBytes   int64   `json:"peak_rss_bytes"`
+	// Sampling lists the daemon's live per-tenant sampling gauges: one
+	// row per (tenant, spec) pair it has replayed under, carrying the
+	// governor's current rate.
+	Sampling []TenantSampling `json:"sampling,omitempty"`
+	Stats    StatsSnapshot    `json:"stats"`
+}
+
+// TenantSampling is one live sampling gauge: the mode and current
+// (governor-adapted) sampling rate in effect for one tenant.
+type TenantSampling struct {
+	Tenant string  `json:"tenant"`
+	Mode   string  `json:"mode"`
+	Rate   float64 `json:"rate"`
 }
 
 // DetectorProgress is one detector's live progress inside a job.
@@ -268,6 +286,23 @@ func (c *Client) do(req *http.Request, want int, out any) error {
 	return nil
 }
 
+// submitURL builds a submission URL (Analyze or SubmitJob) carrying
+// the optional detector and sampling-override query parameters.
+func (c *Client) submitURL(path, detector string) string {
+	q := url.Values{}
+	if detector != "" {
+		q.Set("detector", detector)
+	}
+	if c.Sample != "" {
+		q.Set("sample", c.Sample)
+	}
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
 // ---- /v1 + shared endpoints ----
 
 // Analyze POSTs a recorded trace to the synchronous /v1/analyze
@@ -276,11 +311,7 @@ func (c *Client) do(req *http.Request, want int, out any) error {
 // (spd3). For large traces prefer SubmitJob, which does not hold the
 // connection for the whole replay.
 func (c *Client) Analyze(ctx context.Context, detector string, tr io.Reader) (*Report, error) {
-	url := c.BaseURL + "/v1/analyze"
-	if detector != "" {
-		url += "?detector=" + detector
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, tr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.submitURL("/v1/analyze", detector), tr)
 	if err != nil {
 		return nil, err
 	}
@@ -335,11 +366,7 @@ func (c *Client) Stats(ctx context.Context) (*Statsz, error) {
 // accepted job's status (state "queued"). The upload is the only
 // synchronous part; pair with WaitJob/Result to collect the analysis.
 func (c *Client) SubmitJob(ctx context.Context, detector string, tr io.Reader) (*JobStatus, error) {
-	url := c.BaseURL + "/v2/jobs"
-	if detector != "" {
-		url += "?detector=" + detector
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, tr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.submitURL("/v2/jobs", detector), tr)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,7 @@ import (
 	"spd3/internal/bench"
 	"spd3/internal/detect"
 	_ "spd3/internal/detectors" // populate the detector registry
+	"spd3/internal/sample"
 	"spd3/internal/stats"
 	"spd3/internal/task"
 	"spd3/internal/trace"
@@ -59,6 +60,8 @@ func main() {
 		replay    = flag.String("replay", "", "replay a recorded trace into -detector instead of executing")
 		statsDump = flag.Bool("stats", false, "append the run's observability snapshot as JSON")
 		workload  = flag.Bool("workload", false, "print workload statistics (tasks, finishes, per-region traffic) instead of detecting")
+		smpSpec   = flag.String("sample", "", "check-sampling spec mode:rate (bernoulli:0.01, page:0.05, burst:0.02); empty or off checks everything")
+		smpBudget = flag.String("overhead-budget", "", "sampling overhead budget (e.g. 5% or 0.05): a governor adapts the rate online to hold it; empty freezes the rate")
 	)
 	flag.Parse()
 
@@ -123,10 +126,40 @@ func main() {
 	if detName == "" {
 		detName = "spd3"
 	}
-	det, err := detect.New(detName, detect.FactoryOpts{Sink: sink, Stats: statsRec})
+	var gov *sample.Governor
+	var smp *sample.Sampler
+	if *smpSpec != "" || *smpBudget != "" {
+		cfg, err := sample.Parse(*smpSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spd3: -sample:", err)
+			os.Exit(2)
+		}
+		budget, err := sample.ParseBudget(*smpBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spd3: -overhead-budget:", err)
+			os.Exit(2)
+		}
+		if cfg.Mode != sample.Off {
+			gov = sample.NewGovernor(cfg, budget)
+			smp = gov.Sampler()
+		}
+	}
+	det, err := detect.New(detName, detect.FactoryOpts{Sink: sink, Stats: statsRec, Sampler: smp})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spd3:", err)
 		os.Exit(2)
+	}
+	// printSampling reports the effective sampling state after a run and
+	// feeds the governor, so successive -replay invocations of a script
+	// can watch the adapted rate move.
+	printSampling := func(elapsed time.Duration) {
+		if gov == nil {
+			return
+		}
+		snap := statsRec.Snapshot()
+		gov.ObserveSnapshot(snap, elapsed)
+		fmt.Printf("sampling  : %s  rate: %.4f  checked: %d  skipped: %d\n",
+			gov.Mode(), gov.Rate(), snap.Get(stats.SampleChecked), snap.Get(stats.SampleSkipped))
 	}
 
 	if *replay != "" {
@@ -153,6 +186,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("replayed  : %s into %s in %v\n", *replay, det.Name(), time.Since(start))
+		printSampling(time.Since(start))
 		if *statsDump {
 			printStats(statsRec, det)
 		}
@@ -203,6 +237,7 @@ func main() {
 		float64(fp.Total())/(1<<20), float64(fp.ShadowBytes)/(1<<20),
 		float64(fp.TreeBytes)/(1<<20), float64(fp.ClockBytes)/(1<<20),
 		float64(fp.SetBytes)/(1<<20))
+	printSampling(elapsed)
 	if *statsDump {
 		printStats(statsRec, det)
 	}

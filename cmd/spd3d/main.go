@@ -24,6 +24,12 @@
 // by the X-SPD3-Tenant header) independently: queued jobs, stored
 // bytes, concurrent shard slots, and submitted byte rate.
 //
+// -sample sets a default check-sampling spec (mode:rate), -tenant-sample
+// overrides it per tenant, and -overhead-budget hands each sampling
+// governor a modeled overhead target to hold by adapting the rate
+// online; a per-request sample= query parameter overrides both. The
+// live per-tenant rates and sample.* counters surface in /statsz.
+//
 // The daemon bounds concurrent analyses (-inflight, 429 beyond it), caps
 // upload size (-max-body, 413), enforces a per-request analysis deadline
 // that cancels the running replay (-timeout, 504), and drains in-flight
@@ -47,6 +53,7 @@ import (
 
 	"spd3/internal/detect"
 	_ "spd3/internal/detectors" // populate the detector registry
+	"spd3/internal/sample"
 	"spd3/internal/server"
 )
 
@@ -72,6 +79,10 @@ func main() {
 		tenantStoreMB = flag.Int64("tenant-store-mb", 0, "max stored trace bytes per tenant in MiB (0 = default 4096, negative disables)")
 		tenantShards  = flag.Int("tenant-shards", 0, "max shard-pool slots one tenant may hold (0 = pool size, negative disables)")
 		tenantRateMB  = flag.Int64("tenant-rate-mb", 0, "per-tenant submitted-bytes rate limit in MiB/s (0 disables)")
+
+		sampleSpec   = flag.String("sample", "", "default check-sampling spec for every tenant (mode:rate, e.g. bernoulli:0.01, page:0.05, burst:0.02; empty or off = check everything)")
+		budgetSpec   = flag.String("overhead-budget", "", "sampling overhead budget for the governors (e.g. 5% or 0.05); empty freezes rates at their configured values")
+		tenantSample = flag.String("tenant-sample", "", "per-tenant sampling overrides as tenant=spec[,tenant=spec...]")
 	)
 	flag.Parse()
 
@@ -83,6 +94,21 @@ func main() {
 	tenantStore := *tenantStoreMB
 	if tenantStore > 0 {
 		tenantStore <<= 20
+	}
+	budget, err := sample.ParseBudget(*budgetSpec)
+	if err != nil {
+		logger.Fatalf("-overhead-budget: %v", err)
+	}
+	var tenantSpecs map[string]string
+	if *tenantSample != "" {
+		tenantSpecs = map[string]string{}
+		for _, kv := range strings.Split(*tenantSample, ",") {
+			tenant, spec, ok := strings.Cut(kv, "=")
+			if !ok || tenant == "" {
+				logger.Fatalf("-tenant-sample: %q is not tenant=spec", kv)
+			}
+			tenantSpecs[tenant] = spec
+		}
 	}
 	srv, err := server.Open(server.Config{
 		MaxInFlight:       *inflight,
@@ -100,6 +126,11 @@ func main() {
 			MaxStoredBytes:  tenantStore,
 			TenantShards:    *tenantShards,
 			RateBytesPerSec: *tenantRateMB << 20,
+		},
+		Sampling: server.SamplingConfig{
+			Default: *sampleSpec,
+			Budget:  budget,
+			Tenants: tenantSpecs,
 		},
 		Log: srvLog,
 	})

@@ -70,6 +70,7 @@ func main() {
 		async    = flag.Bool("async", false, "drive the /v2 job API (submit, poll to done, fetch result) instead of /v1/analyze")
 		tenant   = flag.String("tenant", "", "X-SPD3-Tenant header: scope jobs and quotas to this tenant")
 		digest   = flag.Bool("digest", false, "print a SHA-256 over the run's deduplicated race set (CI differential oracle)")
+		sampleSp = flag.String("sample", "", "per-request sampling spec override sent as sample= (e.g. bernoulli:0.01, burst:0.02, off)")
 	)
 	flag.Parse()
 
@@ -98,6 +99,7 @@ func main() {
 
 	cl := client.New(*addr)
 	cl.Tenant = *tenant
+	cl.Sample = *sampleSp
 	ctx := context.Background()
 	if err := cl.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "spd3load: daemon at %s not healthy: %v\n", *addr, err)
@@ -118,7 +120,7 @@ func main() {
 	// the run's high-water mark; the counter deltas isolate this run
 	// from whatever the daemon served before.
 	if after, err := cl.Stats(ctx); err == nil {
-		fmt.Print(daemonSummary(before, after))
+		fmt.Print(daemonSummary(before, after, len(res.races)))
 	} else {
 		fmt.Fprintf(os.Stderr, "spd3load: reading /statsz after run: %v\n", err)
 	}
@@ -128,10 +130,14 @@ func main() {
 }
 
 // daemonSummary renders the server-side view of the run: bytes streamed
-// through the analyze path, finish-scope segments sharded, and the
-// daemon's memory high-water marks — the numbers that substantiate the
+// through the analyze path, finish-scope segments sharded, the
+// detector-side sampling deltas (with the effective rate and a
+// missed-race estimate when checks were elided), and the daemon's
+// memory high-water marks — the numbers that substantiate the
 // flat-ceiling claim when -scale pushes traces far past daemon RAM.
-func daemonSummary(before, after *client.Statsz) string {
+// found is the run's deduplicated distinct-race count, the basis of the
+// missed-race estimate.
+func daemonSummary(before, after *client.Statsz, found int) string {
 	var b bytes.Buffer
 	streamed := after.Stats.Get("srv.streamed_bytes") - before.Stats.Get("srv.streamed_bytes")
 	segments := after.Stats.Get("trace.segments") - before.Stats.Get("trace.segments")
@@ -145,6 +151,23 @@ func daemonSummary(before, after *client.Statsz) string {
 		dedup := after.Stats.Get("store.dedup_hits") - before.Stats.Get("store.dedup_hits")
 		fmt.Fprintf(&b, "store     : %.2f MB written, %d dedup hits, %d blobs / %.2f MB resident\n",
 			float64(stored)/(1<<20), dedup, after.StoreBlobs, float64(after.StoreBytes)/(1<<20))
+	}
+	checked := after.Stats.Get("sample.checked") - before.Stats.Get("sample.checked")
+	skipped := after.Stats.Get("sample.skipped") - before.Stats.Get("sample.skipped")
+	if checked > 0 || skipped > 0 {
+		rate := float64(checked) / float64(checked+skipped)
+		fmt.Fprintf(&b, "sampling  : %d checked, %d skipped (effective rate %.4f)",
+			checked, skipped, rate)
+		// Per-location coins give both racing accesses the same decision,
+		// so a race at a skipped location is missed with probability
+		// (1-r): found races undercount by roughly found×(1-r)/r.
+		if rate > 0 && rate < 1 && found > 0 {
+			fmt.Fprintf(&b, ", ~%.0f races likely missed", float64(found)*(1-rate)/rate)
+		}
+		fmt.Fprintln(&b)
+		for _, ts := range after.Sampling {
+			fmt.Fprintf(&b, "governor  : tenant=%s mode=%s rate=%.4f\n", ts.Tenant, ts.Mode, ts.Rate)
+		}
 	}
 	fmt.Fprintf(&b, "daemon mem: peak heap %.1f MiB", float64(after.PeakHeapBytes)/(1<<20))
 	if after.PeakRSSBytes > 0 {

@@ -99,6 +99,13 @@ func (s *casShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 			return
 		}
 	}
+	if sp := s.d.smp; sp != nil {
+		if !sp.Admit(&ts.smp, s.id, i) {
+			ts.smp.Skipped++
+			return
+		}
+		ts.smp.Checked++
+	}
 	c := s.cell(t, i)
 	var retries int64
 	for {
@@ -134,6 +141,13 @@ func (s *casShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 			ts.nStepCache++
 			return
 		}
+	}
+	if sp := s.d.smp; sp != nil {
+		if !sp.Admit(&ts.smp, s.id, i) {
+			ts.smp.Skipped++
+			return
+		}
+		ts.smp.Checked++
 	}
 	c := s.cell(t, i)
 	var retries int64

@@ -37,6 +37,7 @@ import (
 
 	"spd3/internal/detect"
 	"spd3/internal/dpst"
+	"spd3/internal/sample"
 	"spd3/internal/shadow"
 	"spd3/internal/stats"
 )
@@ -90,6 +91,13 @@ type Options struct {
 	// (see taskState.flush), so the steady-state cost per event is one
 	// non-atomic increment.
 	Stats *stats.Recorder
+	// Sampler, when enabled, gates each access's race check
+	// (internal/sample). The gate sits after the sink/step-cache
+	// short-circuits and before the shadow cell is even resolved, so a
+	// sampled-out access costs one predictable branch plus (for burst
+	// mode) a cached per-task decision read. Nil or Off means every
+	// check runs — the default, byte-identical to the ungated detector.
+	Sampler *sample.Sampler
 }
 
 // Detector is the SPD3 race detector. Create with New; wire into a
@@ -103,6 +111,7 @@ type Detector struct {
 	memo      bool // !Options.NoDMHPMemo
 	flat      bool // Options.FlatShadow
 	st        *stats.Recorder
+	smp       *sample.Sampler // nil when sampling is off
 
 	shadowIDs   detect.Counter
 	shadowBytes detect.Counter
@@ -116,7 +125,7 @@ func New(sink *detect.Sink, mode SyncMode) *Detector {
 
 // NewWith returns an SPD3 detector with explicit options.
 func NewWith(sink *detect.Sink, o Options) *Detector {
-	return &Detector{
+	d := &Detector{
 		sink:      sink,
 		tree:      dpst.New(),
 		mode:      o.Sync,
@@ -126,7 +135,16 @@ func NewWith(sink *detect.Sink, o Options) *Detector {
 		flat:      o.FlatShadow,
 		st:        o.Stats,
 	}
+	if o.Sampler.Enabled() {
+		d.smp = o.Sampler
+	}
+	return d
 }
+
+// NativeSampling implements detect.NativeSampler: SPD3 consumes
+// FactoryOpts.Sampler itself (see Options.Sampler), so the registry
+// must not wrap it with the generic gate.
+func (d *Detector) NativeSampling() bool { return true }
 
 // Tree exposes the DPST (for tests and tooling).
 func (d *Detector) Tree() *dpst.Tree { return d.tree }
@@ -173,6 +191,12 @@ type taskState struct {
 	cache [stepCacheSize]cacheEntry
 	mhp   [mhpMemoSize]mhpEntry
 
+	// smp is the task's check-sampling state: the cached burst-window
+	// decision word (recomputed once per step advance, so the
+	// sampled-out path is a predictable branch) plus the batched
+	// admit/skip tallies, flushed with the rest.
+	smp sample.TaskState
+
 	sh           *stats.Shard
 	nCASClean    int64
 	nCASPublish  int64
@@ -199,6 +223,7 @@ func (ts *taskState) flush() {
 	ts.sh.Add(stats.DMHPWalk, ts.nDMHPWalk)
 	ts.sh.Add(stats.DMHPMemoHit, ts.nDMHPMemoHit)
 	ts.sh.Add(stats.StepCacheHit, ts.nStepCache)
+	ts.smp.Flush(ts.sh)
 	for b, n := range ts.retryBuckets {
 		ts.sh.AddBucket(stats.HistCASRetry, b, n)
 	}
@@ -318,7 +343,9 @@ type finishState struct {
 func (d *Detector) MainTask(t *detect.Task, implicit *detect.Finish) {
 	run := d.tree.NewChild(d.tree.Root(), dpst.FinishNode)
 	step := d.tree.NewChild(run, dpst.StepNode)
-	t.State = &taskState{step: step, scope: run, sh: d.st.Shard(int(t.ID))}
+	ts := &taskState{step: step, scope: run, sh: d.st.Shard(int(t.ID))}
+	d.smp.Step(&ts.smp)
+	t.State = ts
 	implicit.State = &finishState{node: run}
 }
 
@@ -331,8 +358,11 @@ func (d *Detector) BeforeSpawn(parent, child *detect.Task) {
 	ps := parent.State.(*taskState)
 	a := d.tree.NewChild(ps.scope, dpst.AsyncNode)
 	childStep := d.tree.NewChild(a, dpst.StepNode)
-	child.State = &taskState{step: childStep, scope: a, sh: d.st.Shard(int(child.ID))}
+	cs := &taskState{step: childStep, scope: a, sh: d.st.Shard(int(child.ID))}
+	d.smp.Step(&cs.smp)
+	child.State = cs
 	ps.step = d.tree.NewChild(ps.scope, dpst.StepNode)
+	d.smp.Step(&ps.smp)
 }
 
 // TaskEnd has no DPST effect (the join is represented by the finish
@@ -350,6 +380,7 @@ func (d *Detector) FinishStart(t *detect.Task, f *detect.Finish) {
 	f.State = &finishState{node: fn, prevScope: ts.scope}
 	ts.scope = fn
 	ts.step = d.tree.NewChild(fn, dpst.StepNode)
+	d.smp.Step(&ts.smp)
 }
 
 // FinishEnd implements §3.1 "End Finish": restore the scope and add a
@@ -367,6 +398,7 @@ func (d *Detector) FinishEnd(t *detect.Task, f *detect.Finish) {
 	ts := t.State.(*taskState)
 	ts.scope = fs.prevScope
 	ts.step = d.tree.NewChild(fs.prevScope, dpst.StepNode)
+	d.smp.Step(&ts.smp)
 }
 
 // Acquire is a no-op: SPD3 targets lock-free async/finish programs (§2).
@@ -572,6 +604,13 @@ func (s *mutexShadow) ReadAt(t *detect.Task, i int, site uintptr) {
 			return
 		}
 	}
+	if sp := s.d.smp; sp != nil {
+		if !sp.Admit(&ts.smp, s.id, i) {
+			ts.smp.Skipped++
+			return
+		}
+		ts.smp.Checked++
+	}
 	ts.nMutexOps++
 	c := s.cell(t, i)
 	c.mu.Lock()
@@ -595,6 +634,13 @@ func (s *mutexShadow) WriteAt(t *detect.Task, i int, site uintptr) {
 			ts.nStepCache++
 			return
 		}
+	}
+	if sp := s.d.smp; sp != nil {
+		if !sp.Admit(&ts.smp, s.id, i) {
+			ts.smp.Skipped++
+			return
+		}
+		ts.smp.Checked++
 	}
 	ts.nMutexOps++
 	c := s.cell(t, i)

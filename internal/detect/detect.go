@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"spd3/internal/sample"
 	"spd3/internal/shadow"
 	"spd3/internal/stats"
 )
@@ -64,6 +65,12 @@ type Task struct {
 	// flushes its batched hit/miss tallies into the stats shards at
 	// task end.
 	PC shadow.PageCache
+
+	// Sample is the task's check-sampling state, used by the registry's
+	// generic sampling wrapper for detectors that do not gate their own
+	// check path (SPD3 keeps equivalent state inside its taskState).
+	// Like PC it is only touched from the task's own goroutine.
+	Sample sample.TaskState
 }
 
 // Finish is the runtime's record of one dynamic finish instance, including

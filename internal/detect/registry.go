@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"spd3/internal/sample"
 	"spd3/internal/stats"
 )
 
@@ -15,6 +16,13 @@ import (
 type FactoryOpts struct {
 	Sink  *Sink
 	Stats *stats.Recorder
+
+	// Sampler, when enabled, gates the detector's per-access check path
+	// (internal/sample). Detectors that implement NativeSampler consume
+	// it in their factory; every other detector is wrapped by New with
+	// the generic shadow-gating wrapper, so sampling works uniformly
+	// across the registry.
+	Sampler *sample.Sampler
 }
 
 // Factory builds one detector instance for one engine.
@@ -71,7 +79,13 @@ func New(name string, opts FactoryOpts) (Detector, error) {
 	if !ok {
 		return nil, fmt.Errorf("spd3: unknown detector %q (have %v)", name, Names())
 	}
-	return e.factory(opts), nil
+	d := e.factory(opts)
+	if opts.Sampler.Enabled() {
+		if ns, ok := d.(NativeSampler); !ok || !ns.NativeSampling() {
+			d = wrapSampled(d, opts.Sampler, opts.Stats)
+		}
+	}
+	return d, nil
 }
 
 // Names returns the registered, non-hidden detector names, sorted.

@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"spd3/internal/sample"
+	"spd3/internal/stats"
+)
+
+// NativeSampler is implemented by detectors that gate their own check
+// path with the FactoryOpts.Sampler handed to their factory (SPD3 does,
+// folding the gate into its batched taskState hot path). The registry
+// wraps every other detector with the generic shadow-gating wrapper
+// below, so sampling composes with all five algorithms without each
+// re-implementing it — and never double-gates the natives.
+type NativeSampler interface {
+	NativeSampling() bool
+}
+
+// wrapSampled gates d's shadows behind smp. The wrapper preserves the
+// inner detector's optional interfaces: SiteShadow on a per-shadow
+// basis, BarrierObserver on the detector itself (losing it would change
+// FastTrack's verdict on barrier-phased programs, which sampling must
+// never do).
+func wrapSampled(d Detector, smp *sample.Sampler, rec *stats.Recorder) Detector {
+	sd := &sampledDetector{inner: d, smp: smp, rec: rec}
+	if bo, ok := d.(BarrierObserver); ok {
+		return &sampledBarrierDetector{sampledDetector: sd, bo: bo}
+	}
+	return sd
+}
+
+// sampledDetector is the generic sampling wrapper: structural events
+// pass straight through (sampling must never distort the task tree or
+// lock state, only which accesses are checked), shadows are gated, and
+// the per-task admit/skip tallies batched in Task.Sample are flushed
+// into the stats shards at task end.
+type sampledDetector struct {
+	inner Detector
+	smp   *sample.Sampler
+	rec   *stats.Recorder
+	ids   Counter
+}
+
+func (d *sampledDetector) Name() string             { return d.inner.Name() }
+func (d *sampledDetector) RequiresSequential() bool { return d.inner.RequiresSequential() }
+
+func (d *sampledDetector) MainTask(t *Task, implicit *Finish) {
+	d.smp.Step(&t.Sample)
+	d.inner.MainTask(t, implicit)
+}
+
+func (d *sampledDetector) BeforeSpawn(parent, child *Task) {
+	d.smp.Step(&child.Sample)
+	d.inner.BeforeSpawn(parent, child)
+}
+
+func (d *sampledDetector) TaskEnd(t *Task) {
+	t.Sample.Flush(d.rec.Shard(int(t.ID)))
+	d.inner.TaskEnd(t)
+}
+
+// FinishStart and FinishEnd advance the burst epoch: detectors without
+// a step notion still get "one span out of N" sampling at finish-scope
+// granularity, the closest structural analogue.
+func (d *sampledDetector) FinishStart(t *Task, f *Finish) {
+	d.smp.Step(&t.Sample)
+	d.inner.FinishStart(t, f)
+}
+
+func (d *sampledDetector) FinishEnd(t *Task, f *Finish) {
+	d.smp.Step(&t.Sample)
+	d.inner.FinishEnd(t, f)
+	// The main task gets no TaskEnd (executors call its body directly);
+	// flushing after every finish end keeps its tallies from being lost.
+	t.Sample.Flush(d.rec.Shard(int(t.ID)))
+}
+
+func (d *sampledDetector) Acquire(t *Task, l *Lock) { d.inner.Acquire(t, l) }
+func (d *sampledDetector) Release(t *Task, l *Lock) { d.inner.Release(t, l) }
+func (d *sampledDetector) Footprint() Footprint     { return d.inner.Footprint() }
+
+func (d *sampledDetector) NewShadow(spec ShadowSpec) Shadow {
+	inner := d.inner.NewShadow(spec)
+	id := uint64(d.ids.Add(1))
+	if ss, ok := inner.(SiteShadow); ok {
+		return &sampledSiteShadow{sampledShadow{d: d, id: id, inner: inner}, ss}
+	}
+	return &sampledShadow{d: d, id: id, inner: inner}
+}
+
+// sampledBarrierDetector additionally forwards barrier events.
+type sampledBarrierDetector struct {
+	*sampledDetector
+	bo BarrierObserver
+}
+
+func (d *sampledBarrierDetector) BarrierArrive(t *Task, b *BarrierInfo, gen int) {
+	d.bo.BarrierArrive(t, b, gen)
+}
+
+func (d *sampledBarrierDetector) BarrierDepart(t *Task, b *BarrierInfo, gen int) {
+	d.bo.BarrierDepart(t, b, gen)
+}
+
+// sampledShadow gates one region's checks.
+type sampledShadow struct {
+	d     *sampledDetector
+	id    uint64
+	inner Shadow
+}
+
+func (s *sampledShadow) admit(t *Task, i int) bool {
+	if !s.d.smp.Admit(&t.Sample, s.id, i) {
+		t.Sample.Skipped++
+		return false
+	}
+	t.Sample.Checked++
+	return true
+}
+
+func (s *sampledShadow) Read(t *Task, i int) {
+	if s.admit(t, i) {
+		s.inner.Read(t, i)
+	}
+}
+
+func (s *sampledShadow) Write(t *Task, i int) {
+	if s.admit(t, i) {
+		s.inner.Write(t, i)
+	}
+}
+
+// sampledSiteShadow preserves site attribution through the gate.
+type sampledSiteShadow struct {
+	sampledShadow
+	site SiteShadow
+}
+
+func (s *sampledSiteShadow) ReadAt(t *Task, i int, site uintptr) {
+	if s.admit(t, i) {
+		s.site.ReadAt(t, i, site)
+	}
+}
+
+func (s *sampledSiteShadow) WriteAt(t *Task, i int, site uintptr) {
+	if s.admit(t, i) {
+		s.site.WriteAt(t, i, site)
+	}
+}
+
+var (
+	_ Detector        = (*sampledDetector)(nil)
+	_ BarrierObserver = (*sampledBarrierDetector)(nil)
+	_ SiteShadow      = (*sampledSiteShadow)(nil)
+)

@@ -43,6 +43,10 @@ type Config struct {
 	// best run of every measurement (cmd/experiments -stats collects
 	// these into a JSON document).
 	OnStats func(benchmark string, tool Tool, workers int, s stats.Snapshot)
+	// OnMeasure, when non-nil, receives every best-of-repeats
+	// measurement (cmd/experiments -json collects these into the
+	// BENCH_<n>.json benchmark artifact).
+	OnMeasure func(benchmark string, tool Tool, workers int, m Measurement)
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +169,9 @@ func (c Config) measure(b *bench.Benchmark, tool Tool, workers int, in bench.Inp
 	if c.OnStats != nil {
 		c.OnStats(b.Name, tool, workers, best.Stats)
 	}
+	if c.OnMeasure != nil {
+		c.OnMeasure(b.Name, tool, workers, best)
+	}
 	return best, nil
 }
 
@@ -205,6 +212,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-dmhp", Title: "DMHP fast-path ablation: pointer walk vs fingerprints vs fingerprints+memo", Run: ablationDMHP},
 		{ID: "stats", Title: "Observability counters: per-benchmark SPD3 event profile", Run: statsTable},
 		{ID: "sparse", Title: "Sparse shadow: paged vs flat footprint on clustered touches", Run: sparseShadow},
+		{ID: "ablation-sample", Title: "Sampling ablation: overhead vs detection probability across modes and rates", Run: ablationSample},
 	}
 }
 

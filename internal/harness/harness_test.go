@@ -28,6 +28,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"ablation-dmhp":      "Ablation: DMHP fast path",
 		"stats":              "Observability counters",
 		"sparse":             "Sparse shadow",
+		"ablation-sample":    "Sampling ablation",
 	}
 	exps := Experiments()
 	if len(exps) != len(wantTitle) {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"spd3/internal/detect"
+	"spd3/internal/sample"
 	"spd3/internal/stats"
 	"spd3/internal/trace"
 )
@@ -291,6 +292,7 @@ type submitOpts struct {
 	shard     bool // run the splitter (pool exists and shard != "off")
 	ephemeral bool // /v1 shim job: delete after the response
 	estimate  int64
+	sampling  string // validated per-request sampling spec override, or ""
 }
 
 // submitJob runs the submit half of a job: admission against the
@@ -400,6 +402,7 @@ func (s *Server) submitJob(ctx context.Context, body io.Reader, opts submitOpts)
 		Detector:   opts.detector,
 		Sequential: sequential,
 		WithStats:  opts.withStats,
+		Sampling:   opts.sampling,
 		Sharded:    opts.shard,
 		Unsplit:    unsplit,
 		Segments:   refs,
@@ -443,8 +446,11 @@ func (s *Server) submitJob(ctx context.Context, body io.Reader, opts submitOpts)
 // replaySegment replays one stored segment into a fresh instance of the
 // named detector, streaming each distinct race through onRace (the
 // job-level accumulator) and folding the run's stats into the server
-// aggregate.
-func (s *Server) replaySegment(name string, rd io.Reader, lim trace.Limits, onRace func(detect.Race)) (stats.Snapshot, error) {
+// aggregate. When sampling is in effect for (tenant, sampling) the
+// detector is gated behind the tenant's persistent governor's shared
+// rate cell, and the timed replay feeds the governor's feedback loop —
+// rates adapt across segments and across jobs.
+func (s *Server) replaySegment(name, tenant, sampling string, rd io.Reader, lim trace.Limits, onRace func(detect.Race)) (stats.Snapshot, error) {
 	sink := detect.NewSink(false, s.cfg.MaxRacesPerReport)
 	rec := stats.New(1)
 	sink.SetStats(rec.Shard(0))
@@ -452,13 +458,23 @@ func (s *Server) replaySegment(name string, rd io.Reader, lim trace.Limits, onRa
 		onRace(r)
 		return false
 	})
-	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec})
+	gov := s.samplers.governor(tenant, sampling)
+	var smp *sample.Sampler
+	if gov != nil {
+		smp = gov.Sampler()
+	}
+	det, err := detect.New(name, detect.FactoryOpts{Sink: sink, Stats: rec, Sampler: smp})
 	if err != nil {
 		return stats.Snapshot{}, err
 	}
+	start := time.Now()
 	replayErr := trace.ReplayWithLimits(rd, det, lim)
+	wall := time.Since(start)
 	snap := rec.Snapshot()
 	snap.Footprint = det.Footprint()
+	if gov != nil {
+		gov.ObserveSnapshot(snap, wall)
+	}
 	s.mu.Lock()
 	s.agg.Merge(snap)
 	s.mu.Unlock()
@@ -546,7 +562,7 @@ func (s *Server) runJob(j *Job) {
 		}
 		defer rd.Close()
 		s.shard().Inc(stats.JobSegmentReplays)
-		snap, err := s.replaySegment(names[di], bufio.NewReaderSize(rd, 64<<10), lim, func(r detect.Race) {
+		snap, err := s.replaySegment(names[di], m.Tenant, m.Sampling, bufio.NewReaderSize(rd, 64<<10), lim, func(r detect.Race) {
 			j.addRace(di, r, s.cfg.MaxRacesPerReport)
 		})
 		if err != nil {
@@ -783,12 +799,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	sampling := r.URL.Query().Get("sample")
+	if _, err := sample.Parse(sampling); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad sample spec %q: %v", sampling, err)
+		return
+	}
 	opts := submitOpts{
 		detector:  name,
 		tenant:    tenantOf(r),
 		withStats: r.URL.Query().Get("stats") != "",
 		shard:     s.pool != nil && r.URL.Query().Get("shard") != "off",
 		estimate:  max(r.ContentLength, 0),
+		sampling:  sampling,
 	}
 	j, err := s.submitJob(r.Context(), r.Body, opts)
 	if err != nil {

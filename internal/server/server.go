@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"spd3/internal/detect"
+	"spd3/internal/sample"
 	"spd3/internal/stats"
 	"spd3/internal/trace"
 )
@@ -115,6 +116,10 @@ type Config struct {
 	// Quota bounds each tenant's queued jobs, stored bytes, submit byte
 	// rate, and concurrent shard slots. See QuotaConfig for defaults.
 	Quota QuotaConfig
+	// Sampling configures per-tenant check sampling: a default spec, an
+	// overhead budget for the governors, and per-tenant overrides. The
+	// zero value means every check runs (sampling off).
+	Sampling SamplingConfig
 	// Log receives one line per analysis; nil disables.
 	Log *log.Logger
 }
@@ -131,6 +136,7 @@ type Server struct {
 	pool     *shardPool // nil when sharding is disabled
 	store    *Store
 	quotas   *quotaTable
+	samplers *samplerTable
 	peakHeap atomic.Uint64
 	start    time.Time
 	mux      *http.ServeMux
@@ -187,6 +193,9 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.StoreTTL == 0 {
 		cfg.StoreTTL = time.Hour
 	}
+	if err := cfg.Sampling.validate(); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:   cfg,
 		rec:   stats.New(0),
@@ -199,6 +208,7 @@ func Open(cfg Config) (*Server, error) {
 		s.pool = newShardPool(cfg.ShardWorkers)
 	}
 	s.quotas = newQuotaTable(cfg.Quota, cfg.ShardWorkers)
+	s.samplers = newSamplerTable(cfg.Sampling)
 	dir := cfg.StoreDir
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "spd3d-store-*")
@@ -559,11 +569,16 @@ type Statsz struct {
 	// the daemon has observed (sampled after every analysis and on
 	// every /statsz); PeakRSSBytes is the process's high-water resident
 	// set from the OS (0 where unavailable).
-	HeapAllocBytes uint64         `json:"heap_alloc_bytes"`
-	SysBytes       uint64         `json:"sys_bytes"`
-	PeakHeapBytes  uint64         `json:"peak_heap_bytes"`
-	PeakRSSBytes   int64          `json:"peak_rss_bytes"`
-	Stats          stats.Snapshot `json:"stats"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	PeakHeapBytes  uint64 `json:"peak_heap_bytes"`
+	PeakRSSBytes   int64  `json:"peak_rss_bytes"`
+	// Sampling lists the live per-tenant sampling gauges: one row per
+	// (tenant, spec) pair the daemon has replayed under, carrying the
+	// governor's current (budget-adapted) rate. Absent when no sampled
+	// replay has run.
+	Sampling []TenantSampling `json:"sampling,omitempty"`
+	Stats    stats.Snapshot   `json:"stats"`
 }
 
 // DetectorList is the /v1/detectors response.
@@ -637,6 +652,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			name, strings.Join(detect.Names(), ", "))
 		return
 	}
+	sampling := r.URL.Query().Get("sample")
+	if _, err := sample.Parse(sampling); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad sample spec %q: %v", sampling, err)
+		return
+	}
 
 	// Admission control before touching the body: a saturated or
 	// draining server sheds load without reading uploads.
@@ -676,6 +696,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		shard:     s.pool != nil && r.URL.Query().Get("shard") != "off",
 		ephemeral: true,
 		estimate:  max(r.ContentLength, 0),
+		sampling:  sampling,
 	})
 	if err != nil {
 		// A failure on a canceled request reports as canceled even
@@ -833,6 +854,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		SysBytes:       sys,
 		PeakHeapBytes:  s.peakHeap.Load(),
 		PeakRSSBytes:   vmHWM(),
+		Sampling:       s.samplers.gauges(),
 		Stats:          snap,
 	})
 }

@@ -48,11 +48,16 @@ type SegmentRef struct {
 // re-queued (the segments are still in the CAS), and a terminal manifest
 // serves /v2/jobs/{id}/result forever until the TTL sweep retires it.
 type Manifest struct {
-	ID         string       `json:"id"`
-	Tenant     string       `json:"tenant"`
-	Detector   string       `json:"detector"`
-	Sequential bool         `json:"sequential"`
-	WithStats  bool         `json:"with_stats,omitempty"`
+	ID         string `json:"id"`
+	Tenant     string `json:"tenant"`
+	Detector   string `json:"detector"`
+	Sequential bool   `json:"sequential"`
+	WithStats  bool   `json:"with_stats,omitempty"`
+	// Sampling is the job's per-request sampling override spec; empty
+	// means the tenant's configured (or daemon default) sampling. It is
+	// persisted so a resumed job replays under the spec it was submitted
+	// with.
+	Sampling   string       `json:"sampling,omitempty"`
 	Sharded    bool         `json:"sharded"`
 	Unsplit    bool         `json:"unsplit,omitempty"`
 	Segments   []SegmentRef `json:"segments"`

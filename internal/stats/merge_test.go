@@ -52,6 +52,40 @@ func TestSnapshotMerge(t *testing.T) {
 	}
 }
 
+// TestSnapshotMergeSampleCounters: the per-segment snapshots a sharded
+// replay merges must accumulate the sampling gate's tallies, or the
+// governor (which observes the merged snapshot) and the /statsz gauges
+// would under-report the effective rate.
+func TestSnapshotMergeSampleCounters(t *testing.T) {
+	var agg Snapshot
+	segments := []struct{ checked, skipped int64 }{
+		{100, 900}, {0, 0}, {50, 50}, {7, 0},
+	}
+	for _, seg := range segments {
+		var s Snapshot
+		s.Counters[SampleChecked] = seg.checked
+		s.Counters[SampleSkipped] = seg.skipped
+		agg.Merge(s)
+	}
+	if got := agg.Get(SampleChecked); got != 157 {
+		t.Errorf("sample.checked = %d, want 157", got)
+	}
+	if got := agg.Get(SampleSkipped); got != 950 {
+		t.Errorf("sample.skipped = %d, want 950", got)
+	}
+}
+
+// TestSampleCounterNames pins the sampling gate's wire names; the
+// spd3load summary and the governor gauges parse them out of /statsz.
+func TestSampleCounterNames(t *testing.T) {
+	if got := SampleChecked.String(); got != "sample.checked" {
+		t.Errorf("SampleChecked = %q, want sample.checked", got)
+	}
+	if got := SampleSkipped.String(); got != "sample.skipped" {
+		t.Errorf("SampleSkipped = %q, want sample.skipped", got)
+	}
+}
+
 // TestSrvCounterNames pins the wire names of the daemon counter group so
 // /statsz consumers can rely on them.
 func TestSrvCounterNames(t *testing.T) {

@@ -137,6 +137,9 @@ func (s Snapshot) String() string {
 	if v := s.Get(StepCacheHit); v != 0 {
 		fmt.Fprintf(&b, " | stepcache: %d hit", v)
 	}
+	if c, k := s.Get(SampleChecked), s.Get(SampleSkipped); c != 0 || k != 0 {
+		fmt.Fprintf(&b, " | sample: %d checked, %d skipped", c, k)
+	}
 	if p := s.Get(ShadowPagesAllocated); p != 0 || s.Get(PageCacheHit) != 0 {
 		fmt.Fprintf(&b, " | shadow: %d pages, %d cache-hit, %d cache-miss",
 			p, s.Get(PageCacheHit), s.Get(PageCacheMiss))

@@ -184,6 +184,16 @@ const (
 	// proved away.
 	ChecksElidedStatic
 
+	// SampleChecked counts shadow accesses admitted by the dynamic
+	// check-sampling gate (internal/sample). Zero when sampling is off
+	// — the gate itself is compiled out of the hot path behind a nil
+	// check.
+	SampleChecked
+	// SampleSkipped counts shadow accesses elided by the sampling gate.
+	// checked/(checked+skipped) is the effective sampling rate a run
+	// actually experienced, which the governor holds to its budget.
+	SampleSkipped
+
 	// NumCounters is the number of Counter values; not itself a
 	// counter.
 	NumCounters
@@ -231,6 +241,8 @@ var counterNames = [NumCounters]string{
 	StoreSweptBlobs:      "store.swept_blobs",
 	QuotaDenied:          "quota.denied",
 	ChecksElidedStatic:   "mem.checks_elided_static",
+	SampleChecked:        "sample.checked",
+	SampleSkipped:        "sample.skipped",
 }
 
 // staticElided is the process-wide tally of statically elided check
@@ -246,6 +258,14 @@ func AddStaticElided(n int64) { staticElided.Add(n) }
 
 // StaticElided returns the process-wide statically-elided site count.
 func StaticElided() int64 { return staticElided.Load() }
+
+// ResetStaticElided zeroes the process-wide statically-elided tally and
+// returns the previous value. It exists for tests that run back-to-back
+// engines in one process: the tally is process-global by design (the
+// sites are gone from the compiled program, not from one run), so
+// without a reset a second engine's snapshots would inherit the first's
+// mem.checks_elided_static.
+func ResetStaticElided() int64 { return staticElided.Swap(0) }
 
 // String returns the counter's stable wire name.
 func (c Counter) String() string {

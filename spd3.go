@@ -41,6 +41,7 @@ import (
 	"spd3/internal/detect"
 	_ "spd3/internal/detectors" // register every detector implementation
 	"spd3/internal/mem"
+	"spd3/internal/sample"
 	"spd3/internal/stats"
 	"spd3/internal/task"
 )
@@ -55,6 +56,9 @@ var (
 	// ErrExecutorMismatch reports an explicit Options.Executor the
 	// selected detector cannot run under (e.g. ESPBags with Pool).
 	ErrExecutorMismatch = errors.New("spd3: detector incompatible with selected executor")
+	// ErrBadSampling reports an unparsable Options.Sampling spec or
+	// overhead budget.
+	ErrBadSampling = errors.New("spd3: invalid sampling configuration")
 )
 
 // Ctx is the task context passed to every task body; it provides Async,
@@ -200,6 +204,27 @@ type Options struct {
 	// merge happens once per Run — so this exists mainly to measure that
 	// claim (the ablation-dmhp benchmark runs both ways).
 	NoStats bool
+	// Sampling configures the dynamic check-sampling subsystem
+	// (internal/sample): gate each access's race check behind a cheap
+	// probabilistic coin so detection can run inside live serving at a
+	// chosen cost. The zero value means off — every check runs, byte-
+	// identical to an unsampled engine.
+	Sampling SamplingOptions
+}
+
+// SamplingOptions selects a check-sampling strategy and, optionally, an
+// overhead budget for the feedback governor.
+type SamplingOptions struct {
+	// Spec is "mode:rate" — "bernoulli:0.05", "page:0.01", "burst:0.1"
+	// — or ""/"off" for disabled. See internal/sample for the strategy
+	// semantics and the soundness argument (sampling can only miss
+	// races, never invent them).
+	Spec string
+	// OverheadBudget, when nonzero, enables the governor: after every
+	// Run it re-estimates the checking overhead from the run's stats
+	// counters and wall clock and retunes the rate toward this target
+	// fraction (0.05 = 5%). Zero keeps the rate fixed at Spec's.
+	OverheadBudget float64
 }
 
 // Engine couples a task runtime with a detector, a race sink, and a
@@ -209,6 +234,7 @@ type Engine struct {
 	det  detect.Detector
 	sink *detect.Sink
 	rec  *stats.Recorder
+	gov  *sample.Governor // nil when sampling is off
 }
 
 // New validates opts and builds an Engine. The detector is constructed
@@ -235,7 +261,22 @@ func New(opts Options) (*Engine, error) {
 	if opts.OnRace != nil {
 		sink.SetOnRace(opts.OnRace)
 	}
-	det, err := detect.New(string(opts.Detector), detect.FactoryOpts{Sink: sink, Stats: rec})
+	var gov *sample.Governor
+	var smp *sample.Sampler
+	if opts.Sampling.Spec != "" || opts.Sampling.OverheadBudget != 0 {
+		cfg, err := sample.Parse(opts.Sampling.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSampling, err)
+		}
+		if b := opts.Sampling.OverheadBudget; b < 0 || b > 1 {
+			return nil, fmt.Errorf("%w: overhead budget %v out of [0, 1]", ErrBadSampling, b)
+		}
+		if cfg.Mode != sample.Off {
+			gov = sample.NewGovernor(cfg, opts.Sampling.OverheadBudget)
+			smp = gov.Sampler()
+		}
+	}
+	det, err := detect.New(string(opts.Detector), detect.FactoryOpts{Sink: sink, Stats: rec, Sampler: smp})
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +293,16 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{rt: rt, det: det, sink: sink, rec: rec}, nil
+	return &Engine{rt: rt, det: det, sink: sink, rec: rec, gov: gov}, nil
+}
+
+// SamplingRate returns the engine's current check-sampling rate: the
+// governor's live (possibly adapted) rate, or 0 when sampling is off.
+func (e *Engine) SamplingRate() float64 {
+	if e.gov == nil {
+		return 0
+	}
+	return e.gov.Rate()
 }
 
 // Report summarizes one Run.
@@ -294,6 +344,11 @@ func (e *Engine) Run(root func(*Ctx)) (*Report, error) {
 	elapsed := time.Since(start)
 	snap := e.rec.Snapshot()
 	snap.Footprint = e.det.Footprint()
+	if e.gov != nil {
+		// One feedback observation per Run: long-lived engines (serving
+		// loops, repeated measurements) converge onto the budget.
+		e.gov.ObserveSnapshot(snap, elapsed)
+	}
 	rep := &Report{
 		Races:     e.sink.RacesSince(mark),
 		Truncated: e.sink.Capped(),
